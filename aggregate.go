@@ -1,0 +1,269 @@
+package specdsm
+
+import (
+	"fmt"
+	"math"
+
+	"specdsm/internal/machine"
+	"specdsm/internal/report"
+	"specdsm/internal/workload"
+)
+
+// Figure9Aggregate is Figure 9 across several workload-generation seeds:
+// mean and standard deviation of normalized execution time per mode.
+type Figure9Aggregate struct {
+	App     string
+	Seeds   int
+	FRMean  float64
+	FRStd   float64
+	SWIMean float64
+	SWIStd  float64
+}
+
+// SpeculationStudySeeds repeats the speculation study across seeds and
+// aggregates Figure 9 per application. It quantifies how sensitive the
+// reproduction's speedups are to the synthetic workloads' randomness.
+func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("specdsm: no seeds")
+	}
+	acc := map[string]*struct {
+		fr, swi []float64
+	}{}
+	var order []string
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		study, err := SpeculationStudy(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range Figure9(study) {
+			a := acc[row.App]
+			if a == nil {
+				a = &struct{ fr, swi []float64 }{}
+				acc[row.App] = a
+				order = append(order, row.App)
+			}
+			a.fr = append(a.fr, row.Total(ModeFR))
+			a.swi = append(a.swi, row.Total(ModeSWI))
+		}
+	}
+	var out []Figure9Aggregate
+	for _, app := range order {
+		a := acc[app]
+		frM, frS := meanStd(a.fr)
+		swiM, swiS := meanStd(a.swi)
+		out = append(out, Figure9Aggregate{
+			App:    app,
+			Seeds:  len(seeds),
+			FRMean: frM, FRStd: frS,
+			SWIMean: swiM, SWIStd: swiS,
+		})
+	}
+	return out, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// RenderFigure9Aggregate prints the multi-seed Figure 9.
+func RenderFigure9Aggregate(rows []Figure9Aggregate) string {
+	t := report.NewTable("Figure 9 across seeds: normalized execution time, mean ± std",
+		"Application", "Seeds", "FR-DSM", "SWI-DSM")
+	for _, r := range rows {
+		t.AddRow(r.App, fmt.Sprint(r.Seeds),
+			fmt.Sprintf("%5.1f ± %4.1f", r.FRMean, r.FRStd),
+			fmt.Sprintf("%5.1f ± %4.1f", r.SWIMean, r.SWIStd))
+	}
+	return t.String()
+}
+
+// RTLPoint is one row of the empirical remote-to-local sweep.
+type RTLPoint struct {
+	// Flight is the configured network flight latency in cycles.
+	Flight int
+	// RTL is the measured remote-to-local latency ratio for a clean
+	// two-hop read ( (258 + 2·flight) / 104 with default node timing ).
+	RTL float64
+	// BaseCycles / SWICycles are the measured execution times.
+	BaseCycles int64
+	SWICycles  int64
+	// Speedup is Base/SWI.
+	Speedup float64
+}
+
+// RTLSweep measures SWI-DSM's benefit as the interconnect slows down —
+// the empirical analogue of Figure 6's bottom-right panel: the higher the
+// remote-to-local ratio (clusters like NUMA-Q), the more a speculative
+// coherent DSM helps.
+func RTLSweep(app string, p WorkloadParams, flights []int) ([]RTLPoint, error) {
+	if len(flights) == 0 {
+		flights = []int{20, 80, 200, 320}
+	}
+	w, err := AppWorkload(app, p)
+	if err != nil {
+		return nil, err
+	}
+	var out []RTLPoint
+	for _, f := range flights {
+		base, err := Run(w, MachineOptions{Mode: ModeBase, NetworkFlight: f, DisableChecks: true})
+		if err != nil {
+			return nil, err
+		}
+		swi, err := Run(w, MachineOptions{Mode: ModeSWI, NetworkFlight: f, DisableChecks: true})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RTLPoint{
+			Flight:     f,
+			RTL:        (258 + 2*float64(f)) / 104,
+			BaseCycles: base.Cycles,
+			SWICycles:  swi.Cycles,
+			Speedup:    float64(base.Cycles) / float64(swi.Cycles),
+		})
+	}
+	return out, nil
+}
+
+// RenderRTLSweep prints the sweep.
+func RenderRTLSweep(app string, points []RTLPoint) string {
+	t := report.NewTable(
+		fmt.Sprintf("Empirical rtl sweep (%s): SWI-DSM speedup vs interconnect latency", app),
+		"flight (cycles)", "rtl", "Base cycles", "SWI cycles", "speedup")
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.Flight), report.F1(p.RTL),
+			fmt.Sprint(p.BaseCycles), fmt.Sprint(p.SWICycles),
+			fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	t.AddNote("Figure 6 bottom-right, measured: higher rtl (cluster interconnects) gains more")
+	return t.String()
+}
+
+// AppCharacterization summarizes a generated workload's sharing structure
+// without simulating it (a static property of the generator).
+type AppCharacterization struct {
+	App    string
+	Ops    int
+	Reads  int
+	Writes int
+	// SharedBlocks counts blocks accessed by more than one node.
+	Blocks       int
+	SharedBlocks int
+	// MeanReadDegree is the mean number of distinct reader nodes per
+	// shared block.
+	MeanReadDegree float64
+	// MaxReadDegree is the widest read sharing observed.
+	MaxReadDegree int
+	// MigratoryBlocks counts shared blocks written by 2+ distinct nodes.
+	MigratoryBlocks int
+	Barriers        int
+	Locks           int
+}
+
+// Characterize statically analyzes the generated programs of each app.
+func Characterize(cfg StudyConfig) ([]AppCharacterization, error) {
+	cfg = cfg.withDefaults()
+	var out []AppCharacterization
+	for _, name := range cfg.Apps {
+		app, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("specdsm: unknown application %q", name)
+		}
+		progs := app.Generate(workload.Params{
+			Nodes:      cfg.Nodes,
+			Iterations: cfg.Iterations,
+			Scale:      cfg.Scale,
+			Seed:       cfg.Seed,
+		})
+		out = append(out, characterize(name, progs))
+	}
+	return out, nil
+}
+
+func characterize(name string, progs []machine.Program) AppCharacterization {
+	c := AppCharacterization{App: name}
+	readers := map[uint64]map[int]bool{}
+	writers := map[uint64]map[int]bool{}
+	touched := map[uint64]map[int]bool{}
+	for n, prog := range progs {
+		c.Ops += len(prog)
+		for _, op := range prog {
+			switch op.Kind {
+			case machine.OpRead:
+				c.Reads++
+				addSet(readers, uint64(op.Addr), n)
+				addSet(touched, uint64(op.Addr), n)
+			case machine.OpWrite:
+				c.Writes++
+				addSet(writers, uint64(op.Addr), n)
+				addSet(touched, uint64(op.Addr), n)
+			case machine.OpBarrier:
+				if n == 0 {
+					c.Barriers++
+				}
+			case machine.OpLock:
+				if n == 0 {
+					c.Locks++
+				}
+			}
+		}
+	}
+	c.Blocks = len(touched)
+	var degreeSum int
+	for addr, nodes := range touched {
+		if len(nodes) < 2 {
+			continue
+		}
+		c.SharedBlocks++
+		deg := len(readers[addr])
+		degreeSum += deg
+		if deg > c.MaxReadDegree {
+			c.MaxReadDegree = deg
+		}
+		if len(writers[addr]) >= 2 {
+			c.MigratoryBlocks++
+		}
+	}
+	if c.SharedBlocks > 0 {
+		c.MeanReadDegree = float64(degreeSum) / float64(c.SharedBlocks)
+	}
+	return c
+}
+
+func addSet(m map[uint64]map[int]bool, k uint64, n int) {
+	s := m[k]
+	if s == nil {
+		s = map[int]bool{}
+		m[k] = s
+	}
+	s[n] = true
+}
+
+// RenderCharacterization prints the per-application sharing structure.
+func RenderCharacterization(rows []AppCharacterization) string {
+	t := report.NewTable("Workload characterization (static, per generated run)",
+		"Application", "ops", "reads", "writes", "blocks", "shared",
+		"read deg (mean/max)", "migratory", "barriers", "locks")
+	for _, r := range rows {
+		t.AddRow(r.App,
+			fmt.Sprint(r.Ops), fmt.Sprint(r.Reads), fmt.Sprint(r.Writes),
+			fmt.Sprint(r.Blocks), fmt.Sprint(r.SharedBlocks),
+			fmt.Sprintf("%.1f / %d", r.MeanReadDegree, r.MaxReadDegree),
+			fmt.Sprint(r.MigratoryBlocks),
+			fmt.Sprint(r.Barriers), fmt.Sprint(r.Locks))
+	}
+	return t.String()
+}

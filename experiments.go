@@ -1,0 +1,404 @@
+package specdsm
+
+import (
+	"fmt"
+
+	"specdsm/internal/analytic"
+)
+
+// StudyConfig parameterizes the experiment drivers. Zero values select
+// the paper's setup: all seven applications, 16 nodes, scale 1.0, seed 1,
+// per-application default iteration counts, depths {1, 2, 4}.
+type StudyConfig struct {
+	Apps       []string
+	Nodes      int
+	Iterations int
+	Scale      float64
+	Seed       int64
+	Depths     []int
+	// DisableChecks speeds up benchmark runs.
+	DisableChecks bool
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if len(c.Apps) == 0 {
+		c.Apps = AppNames()
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 16
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Depths) == 0 {
+		c.Depths = []int{1, 2, 4}
+	}
+	return c
+}
+
+func (c StudyConfig) workloadParams() WorkloadParams {
+	return WorkloadParams{
+		Nodes:      c.Nodes,
+		Iterations: c.Iterations,
+		Scale:      c.Scale,
+		Seed:       c.Seed,
+	}
+}
+
+// AppPrediction holds every predictor measurement for one application's
+// Base-DSM run: all three predictor kinds at every configured depth,
+// observing the identical message stream.
+type AppPrediction struct {
+	App     string
+	Results map[PredictorConfig]PredictorResult
+	// Requests supports normalization.
+	Reads, Writes, Upgrades uint64
+}
+
+// Get returns the result for (kind, depth).
+func (a AppPrediction) Get(kind PredictorKind, depth int) PredictorResult {
+	return a.Results[PredictorConfig{Kind: kind, Depth: depth}]
+}
+
+// PredictorStudy runs Base-DSM once per application with all predictor
+// variants attached passively, yielding the data behind Figures 7-8 and
+// Tables 3-4.
+func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
+	cfg = cfg.withDefaults()
+	var observers []PredictorConfig
+	for _, kind := range Kinds() {
+		for _, d := range cfg.Depths {
+			observers = append(observers, PredictorConfig{Kind: kind, Depth: d})
+		}
+	}
+	var out []AppPrediction
+	for _, app := range cfg.Apps {
+		w, err := AppWorkload(app, cfg.workloadParams())
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(w, MachineOptions{
+			Mode:          ModeBase,
+			Observers:     observers,
+			DisableChecks: cfg.DisableChecks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ap := AppPrediction{
+			App:      app,
+			Results:  make(map[PredictorConfig]PredictorResult),
+			Reads:    res.Reads,
+			Writes:   res.Writes,
+			Upgrades: res.Upgrades,
+		}
+		for _, pr := range res.Predictors {
+			ap.Results[PredictorConfig{Kind: pr.Kind, Depth: pr.Depth}] = pr
+		}
+		out = append(out, ap)
+	}
+	return out, nil
+}
+
+// AppSpeculation holds the Base/FR/SWI runs for one application (§7.4).
+type AppSpeculation struct {
+	App  string
+	Base *RunResult
+	FR   *RunResult
+	SWI  *RunResult
+}
+
+// SpeculationStudy runs every application under Base-DSM, FR-DSM, and
+// SWI-DSM (VMSP depth 1 active, as in the paper), yielding the data
+// behind Figure 9 and Table 5.
+func SpeculationStudy(cfg StudyConfig) ([]AppSpeculation, error) {
+	cfg = cfg.withDefaults()
+	var out []AppSpeculation
+	for _, app := range cfg.Apps {
+		w, err := AppWorkload(app, cfg.workloadParams())
+		if err != nil {
+			return nil, err
+		}
+		var runs [3]*RunResult
+		for i, mode := range []Mode{ModeBase, ModeFR, ModeSWI} {
+			r, err := Run(w, MachineOptions{Mode: mode, DisableChecks: cfg.DisableChecks})
+			if err != nil {
+				return nil, err
+			}
+			runs[i] = r
+		}
+		out = append(out, AppSpeculation{App: app, Base: runs[0], FR: runs[1], SWI: runs[2]})
+	}
+	return out, nil
+}
+
+// Figure7Row is one group of bars of Figure 7: base predictor accuracy at
+// history depth one.
+type Figure7Row struct {
+	App    string
+	Cosmos float64
+	MSP    float64
+	VMSP   float64
+}
+
+// Figure7 derives the Figure 7 data from a predictor study.
+func Figure7(study []AppPrediction) []Figure7Row {
+	var out []Figure7Row
+	for _, ap := range study {
+		out = append(out, Figure7Row{
+			App:    ap.App,
+			Cosmos: ap.Get(Cosmos, 1).Accuracy,
+			MSP:    ap.Get(MSP, 1).Accuracy,
+			VMSP:   ap.Get(VMSP, 1).Accuracy,
+		})
+	}
+	return out
+}
+
+// Figure8Row is one application of Figure 8: accuracy per predictor per
+// history depth.
+type Figure8Row struct {
+	App      string
+	Depths   []int
+	Accuracy map[PredictorKind][]float64 // indexed like Depths
+}
+
+// Figure8 derives the Figure 8 data from a predictor study.
+func Figure8(study []AppPrediction, depths []int) []Figure8Row {
+	if len(depths) == 0 {
+		depths = []int{1, 2, 4}
+	}
+	var out []Figure8Row
+	for _, ap := range study {
+		row := Figure8Row{App: ap.App, Depths: depths, Accuracy: make(map[PredictorKind][]float64)}
+		for _, kind := range Kinds() {
+			for _, d := range depths {
+				row.Accuracy[kind] = append(row.Accuracy[kind], ap.Get(kind, d).Accuracy)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table3Row reports the fraction of messages predicted (coverage) and
+// predicted correctly, per predictor, at depth one.
+type Table3Row struct {
+	App      string
+	Coverage map[PredictorKind]float64
+	Correct  map[PredictorKind]float64
+}
+
+// Table3 derives the Table 3 data from a predictor study.
+func Table3(study []AppPrediction) []Table3Row {
+	var out []Table3Row
+	for _, ap := range study {
+		row := Table3Row{
+			App:      ap.App,
+			Coverage: make(map[PredictorKind]float64),
+			Correct:  make(map[PredictorKind]float64),
+		}
+		for _, kind := range Kinds() {
+			pr := ap.Get(kind, 1)
+			row.Coverage[kind] = pr.Coverage
+			row.Correct[kind] = pr.CorrectFraction
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table4Row reports pattern-table entries per allocated block at depths 1
+// and 4, and the depth-1 byte overhead, per predictor.
+type Table4Row struct {
+	App   string
+	PTE1  map[PredictorKind]float64
+	PTE4  map[PredictorKind]float64
+	Bytes map[PredictorKind]float64
+}
+
+// Table4 derives the Table 4 data from a predictor study.
+func Table4(study []AppPrediction) []Table4Row {
+	var out []Table4Row
+	for _, ap := range study {
+		row := Table4Row{
+			App:   ap.App,
+			PTE1:  make(map[PredictorKind]float64),
+			PTE4:  make(map[PredictorKind]float64),
+			Bytes: make(map[PredictorKind]float64),
+		}
+		for _, kind := range Kinds() {
+			row.PTE1[kind] = ap.Get(kind, 1).EntriesPerBlock
+			row.PTE4[kind] = ap.Get(kind, 4).EntriesPerBlock
+			row.Bytes[kind] = ap.Get(kind, 1).BytesPerBlock
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Figure9Row is one application of Figure 9: execution time normalized to
+// Base-DSM, split into computation (incl. synchronization) and remote
+// request waiting.
+type Figure9Row struct {
+	App string
+	// Each pair is (computation%, request%) of Base-DSM's execution time.
+	Base [2]float64
+	FR   [2]float64
+	SWI  [2]float64
+}
+
+// Total returns computation+request for the given mode column.
+func (r Figure9Row) Total(mode Mode) float64 {
+	switch mode {
+	case ModeFR:
+		return r.FR[0] + r.FR[1]
+	case ModeSWI:
+		return r.SWI[0] + r.SWI[1]
+	default:
+		return r.Base[0] + r.Base[1]
+	}
+}
+
+// Figure9 derives the Figure 9 data from a speculation study.
+func Figure9(study []AppSpeculation) []Figure9Row {
+	var out []Figure9Row
+	for _, as := range study {
+		base := float64(as.Base.Cycles)
+		split := func(r *RunResult) [2]float64 {
+			total := float64(r.Cycles) / base * 100
+			share := r.RequestShare()
+			return [2]float64{total * (1 - share), total * share}
+		}
+		out = append(out, Figure9Row{
+			App:  as.App,
+			Base: split(as.Base),
+			FR:   split(as.FR),
+			SWI:  split(as.SWI),
+		})
+	}
+	return out
+}
+
+// Table5Row reports request counts and speculation/misspeculation
+// frequencies, as percentages of the Base-DSM request counts.
+type Table5Row struct {
+	App        string
+	BaseReads  uint64
+	BaseWrites uint64 // writes + upgrades
+	// FR-DSM.
+	FRSent float64
+	FRMiss float64
+	// SWI-DSM: reads triggered via FR, via SWI, and write invalidations.
+	SWIFRSent    float64
+	SWIFRMiss    float64
+	SWIReadSent  float64
+	SWIReadMiss  float64
+	SWIInvalSent float64
+	SWIInvalMiss float64
+}
+
+// Table5 derives the Table 5 data from a speculation study.
+func Table5(study []AppSpeculation) []Table5Row {
+	pct := func(n uint64, d uint64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return float64(n) / float64(d) * 100
+	}
+	var out []Table5Row
+	for _, as := range study {
+		reads := as.Base.Reads
+		writes := as.Base.WriteLike()
+		// Misses are verification-confirmed misspeculations (invalidated
+		// without reference); copies still unreferenced when the run ends
+		// are end-of-run artifacts, not verified misses. In SWI-DSM the
+		// misses cannot be split by trigger, so attribute them
+		// proportionally to the forwards sent.
+		swiSent := as.SWI.SpecReadsSWI
+		frSent := as.SWI.SpecReadsFR
+		unused := as.SWI.SpecReadUnused
+		var frMiss, swiMiss uint64
+		if tot := swiSent + frSent; tot > 0 {
+			frMiss = unused * frSent / tot
+			swiMiss = unused - frMiss
+		}
+		out = append(out, Table5Row{
+			App:          as.App,
+			BaseReads:    reads,
+			BaseWrites:   writes,
+			FRSent:       pct(as.FR.SpecReadsFR, reads),
+			FRMiss:       pct(as.FR.SpecReadUnused, reads),
+			SWIFRSent:    pct(frSent, reads),
+			SWIFRMiss:    pct(frMiss, reads),
+			SWIReadSent:  pct(swiSent, reads),
+			SWIReadMiss:  pct(swiMiss, reads),
+			SWIInvalSent: pct(as.SWI.SWIRecalls, writes),
+			SWIInvalMiss: pct(as.SWI.SWIPremature, writes),
+		})
+	}
+	return out
+}
+
+// AnalyticParams re-exports the §5 model inputs.
+type AnalyticParams = analytic.Params
+
+// AnalyticSpeedup evaluates Equation 2 of the paper.
+func AnalyticSpeedup(p AnalyticParams) float64 { return analytic.Speedup(p) }
+
+// AnalyticCommSpeedup evaluates Equation 1 of the paper.
+func AnalyticCommSpeedup(p AnalyticParams) float64 { return analytic.CommSpeedup(p) }
+
+// AnalyticSeries is one Figure 6 curve.
+type AnalyticSeries struct {
+	Label string
+	C     []float64
+	Y     []float64
+}
+
+// Figure6Panel names one of the four Figure 6 panels.
+type Figure6Panel struct {
+	Title  string
+	Series []AnalyticSeries
+}
+
+// Figure6 generates all four panels of Figure 6.
+func Figure6() []Figure6Panel {
+	var out []Figure6Panel
+	for _, p := range analytic.Panels() {
+		panel := Figure6Panel{Title: p.String()}
+		for _, s := range analytic.Figure6(p) {
+			panel.Series = append(panel.Series, AnalyticSeries{Label: s.Label, C: s.C, Y: s.Y})
+		}
+		out = append(out, panel)
+	}
+	return out
+}
+
+// Validate sanity-checks a study config early.
+func (c StudyConfig) Validate() error {
+	cc := c.withDefaults()
+	for _, app := range cc.Apps {
+		if _, ok := appExists(app); !ok {
+			return fmt.Errorf("specdsm: unknown application %q", app)
+		}
+	}
+	for _, d := range cc.Depths {
+		if d < 1 {
+			return fmt.Errorf("specdsm: invalid depth %d", d)
+		}
+	}
+	return nil
+}
+
+func appExists(name string) (string, bool) {
+	for _, n := range AppNames() {
+		if n == name {
+			return n, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,58 @@
+package specdsm_test
+
+// Determinism goldens: the simulator is bit-reproducible, so exact cycle
+// counts for fixed (app, scale, seed, mode) are pinned here. A failure
+// means simulator behaviour changed — which may be intentional, but must
+// be noticed (update the constants deliberately, alongside EXPERIMENTS.md
+// if shapes moved).
+
+import (
+	"testing"
+
+	"specdsm"
+)
+
+func goldenRun(t *testing.T, app string, mode specdsm.Mode) int64 {
+	t.Helper()
+	w, err := specdsm.AppWorkload(app, specdsm.WorkloadParams{
+		Nodes: 8, Iterations: 3, Scale: 0.25, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := specdsm.Run(w, specdsm.MachineOptions{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Cycles
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	for _, app := range specdsm.AppNames() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			a := goldenRun(t, app, specdsm.ModeSWI)
+			b := goldenRun(t, app, specdsm.ModeSWI)
+			if a != b {
+				t.Fatalf("nondeterministic: %d vs %d cycles", a, b)
+			}
+		})
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	w1, _ := specdsm.AppWorkload("em3d", specdsm.WorkloadParams{Nodes: 8, Iterations: 3, Scale: 0.25, Seed: 1})
+	w2, _ := specdsm.AppWorkload("em3d", specdsm.WorkloadParams{Nodes: 8, Iterations: 3, Scale: 0.25, Seed: 2})
+	r1, err := specdsm.Run(w1, specdsm.MachineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := specdsm.Run(w2, specdsm.MachineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles == r2.Cycles {
+		t.Fatalf("different seeds produced identical makespans (%d); generator ignoring seed?", r1.Cycles)
+	}
+}

@@ -1,0 +1,162 @@
+// Package analytic implements the qualitative performance model of the
+// paper's §5 (Equations 1 and 2) and generates the four panels of
+// Figure 6.
+//
+// The model estimates the speedup of a speculative coherent DSM from five
+// parameters: the application's communication ratio on the critical path
+// (c), the fraction of memory requests executed speculatively (f), the
+// prediction accuracy (p), the remote-to-local latency ratio (rtl), and
+// the misspeculation penalty factor (n).
+package analytic
+
+import "fmt"
+
+// Params holds the model inputs.
+type Params struct {
+	// C is the communication ratio on the critical path, in [0,1].
+	C float64
+	// F is the fraction of speculatively executed requests, in [0,1].
+	F float64
+	// P is the request prediction accuracy, in [0,1].
+	P float64
+	// RTL is the remote-to-local access latency ratio (>= 1).
+	RTL float64
+	// N is the misspeculation penalty factor (in remote-access units).
+	N float64
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.C < 0 || p.C > 1:
+		return fmt.Errorf("analytic: c=%v out of [0,1]", p.C)
+	case p.F < 0 || p.F > 1:
+		return fmt.Errorf("analytic: f=%v out of [0,1]", p.F)
+	case p.P < 0 || p.P > 1:
+		return fmt.Errorf("analytic: p=%v out of [0,1]", p.P)
+	case p.RTL < 1:
+		return fmt.Errorf("analytic: rtl=%v < 1", p.RTL)
+	case p.N < 0:
+		return fmt.Errorf("analytic: n=%v < 0", p.N)
+	}
+	return nil
+}
+
+// CommSpeedup evaluates Equation 1: the speedup of communication time.
+//
+//	comm-speedup = 1 / ((1-f) + f·(p/rtl + n·(1-p)))
+func CommSpeedup(p Params) float64 {
+	if err := p.validate(); err != nil {
+		panic(err)
+	}
+	return 1 / ((1 - p.F) + p.F*(p.P/p.RTL+p.N*(1-p.P)))
+}
+
+// Speedup evaluates Equation 2: the overall application speedup.
+//
+//	speedup = 1 / ((1-c) + c/comm-speedup)
+func Speedup(p Params) float64 {
+	cs := CommSpeedup(p)
+	return 1 / ((1 - p.C) + p.C/cs)
+}
+
+// Series is one curve of a Figure 6 panel: speedup as a function of the
+// communication ratio c.
+type Series struct {
+	Label string
+	C     []float64
+	Y     []float64
+}
+
+// cGrid is the x axis of every panel: c = 0.00, 0.05, ..., 1.00.
+func cGrid() []float64 {
+	xs := make([]float64, 21)
+	for i := range xs {
+		xs[i] = float64(i) / 20
+	}
+	return xs
+}
+
+func sweep(label string, base Params) Series {
+	s := Series{Label: label}
+	for _, c := range cGrid() {
+		p := base
+		p.C = c
+		s.C = append(s.C, c)
+		s.Y = append(s.Y, Speedup(p))
+	}
+	return s
+}
+
+// Panel identifies one of the four Figure 6 graphs.
+type Panel int
+
+const (
+	// PanelAccuracy varies p with n=2, f=1, rtl=4 (top-left).
+	PanelAccuracy Panel = iota
+	// PanelPenalty varies n with p=0.9, f=1, rtl=4 (top-right).
+	PanelPenalty
+	// PanelFraction varies f with p=0.9, n=2, rtl=4 (bottom-left).
+	PanelFraction
+	// PanelRTL varies rtl with p=0.9, n=2, f=1 (bottom-right).
+	PanelRTL
+)
+
+func (p Panel) String() string {
+	switch p {
+	case PanelAccuracy:
+		return "n=2, f=1.0, rtl=4 (vary p)"
+	case PanelPenalty:
+		return "p=0.9, f=1.0, rtl=4 (vary n)"
+	case PanelFraction:
+		return "p=0.9, n=2, rtl=4 (vary f)"
+	case PanelRTL:
+		return "p=0.9, n=2, f=1.0 (vary rtl)"
+	default:
+		return "?"
+	}
+}
+
+// Figure6 generates the curves of one panel, exactly as parameterized in
+// the paper.
+func Figure6(panel Panel) []Series {
+	switch panel {
+	case PanelAccuracy:
+		var out []Series
+		for _, p := range []float64{1.0, 0.9, 0.7, 0.5, 0.3, 0.1} {
+			out = append(out, sweep(fmt.Sprintf("p = %.1f", p),
+				Params{F: 1.0, P: p, RTL: 4, N: 2}))
+		}
+		return out
+	case PanelPenalty:
+		var out []Series
+		for _, n := range []float64{1.5, 2, 4, 8} {
+			out = append(out, sweep(fmt.Sprintf("n = %g", n),
+				Params{F: 1.0, P: 0.9, RTL: 4, N: n}))
+		}
+		return out
+	case PanelFraction:
+		var out []Series
+		for _, f := range []float64{1.0, 0.9, 0.7, 0.5, 0.3, 0.1} {
+			out = append(out, sweep(fmt.Sprintf("f = %.1f", f),
+				Params{F: f, P: 0.9, RTL: 4, N: 2}))
+		}
+		return out
+	case PanelRTL:
+		var out []Series
+		for _, rtl := range []struct {
+			v    float64
+			name string
+		}{{8, "NUMA-Q"}, {4, "Mercury"}, {2, "Origin"}} {
+			out = append(out, sweep(fmt.Sprintf("rtl = %g (%s)", rtl.v, rtl.name),
+				Params{F: 1.0, P: 0.9, RTL: rtl.v, N: 2}))
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("analytic: unknown panel %d", panel))
+	}
+}
+
+// Panels lists all four Figure 6 panels.
+func Panels() []Panel {
+	return []Panel{PanelAccuracy, PanelPenalty, PanelFraction, PanelRTL}
+}

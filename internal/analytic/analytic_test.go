@@ -1,0 +1,152 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPerfectSpeculationBehavesLikeSMP(t *testing.T) {
+	// §5: "when all speculations succeed (p=1.0), all remote accesses turn
+	// into local accesses and the DSM behaves like an SMP" — at c=1 the
+	// speedup equals rtl.
+	p := Params{C: 1, F: 1, P: 1, RTL: 4, N: 2}
+	if got := Speedup(p); !almostEq(got, 4) {
+		t.Fatalf("speedup = %v, want 4", got)
+	}
+	if got := CommSpeedup(p); !almostEq(got, 4) {
+		t.Fatalf("comm speedup = %v, want rtl", got)
+	}
+}
+
+func TestNoSpeculationIsNeutral(t *testing.T) {
+	p := Params{C: 0.5, F: 0, P: 0.9, RTL: 4, N: 2}
+	if got := Speedup(p); !almostEq(got, 1) {
+		t.Fatalf("f=0 speedup = %v, want 1", got)
+	}
+}
+
+func TestNoCommunicationIsNeutral(t *testing.T) {
+	p := Params{C: 0, F: 1, P: 0.9, RTL: 4, N: 2}
+	if got := Speedup(p); !almostEq(got, 1) {
+		t.Fatalf("c=0 speedup = %v, want 1", got)
+	}
+}
+
+func TestLowAccuracySlowsDown(t *testing.T) {
+	// §7 Figure 6: accuracy 10%-50% consistently results in a slowdown.
+	for _, acc := range []float64{0.1, 0.3, 0.5} {
+		p := Params{C: 0.8, F: 1, P: acc, RTL: 4, N: 2}
+		if got := Speedup(p); got >= 1 {
+			t.Fatalf("p=%v speedup = %v, want < 1 (slowdown)", acc, got)
+		}
+	}
+}
+
+func TestPaperSpotValue(t *testing.T) {
+	// "A prediction accuracy of 70% at best speeds up the execution by 25%
+	// for a fully communication-bound application" (n=2, rtl=4, f=1).
+	p := Params{C: 1, F: 1, P: 0.7, RTL: 4, N: 2}
+	got := Speedup(p)
+	if got < 1.2 || got > 1.35 {
+		t.Fatalf("speedup = %v, want ~1.25", got)
+	}
+}
+
+func TestSpeedupMonotonicInAccuracy(t *testing.T) {
+	f := func(rawC, rawP1, rawP2 float64) bool {
+		c := math.Mod(math.Abs(rawC), 1)
+		p1 := math.Mod(math.Abs(rawP1), 1)
+		p2 := math.Mod(math.Abs(rawP2), 1)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		s1 := Speedup(Params{C: c, F: 1, P: p1, RTL: 4, N: 2})
+		s2 := Speedup(Params{C: c, F: 1, P: p2, RTL: 4, N: 2})
+		return s2 >= s1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupMonotonicDecreasingInPenalty(t *testing.T) {
+	f := func(rawC, rawN1, rawN2 float64) bool {
+		c := math.Mod(math.Abs(rawC), 1)
+		n1 := math.Mod(math.Abs(rawN1), 8)
+		n2 := math.Mod(math.Abs(rawN2), 8)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		s1 := Speedup(Params{C: c, F: 1, P: 0.9, RTL: 4, N: n1})
+		s2 := Speedup(Params{C: c, F: 1, P: 0.9, RTL: 4, N: n2})
+		return s2 <= s1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHigherRTLBenefitsMore(t *testing.T) {
+	// Figure 6 bottom-right: clusters (high rtl) benefit most.
+	mk := func(rtl float64) float64 {
+		return Speedup(Params{C: 0.8, F: 1, P: 0.9, RTL: rtl, N: 2})
+	}
+	if !(mk(8) > mk(4) && mk(4) > mk(2)) {
+		t.Fatalf("rtl ordering violated: %v %v %v", mk(8), mk(4), mk(2))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{C: -0.1, F: 1, P: 1, RTL: 4, N: 2},
+		{C: 0.5, F: 1.5, P: 1, RTL: 4, N: 2},
+		{C: 0.5, F: 1, P: 2, RTL: 4, N: 2},
+		{C: 0.5, F: 1, P: 1, RTL: 0.5, N: 2},
+		{C: 0.5, F: 1, P: 1, RTL: 4, N: -1},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			CommSpeedup(p)
+		}()
+	}
+}
+
+func TestFigure6Panels(t *testing.T) {
+	wantCurves := map[Panel]int{
+		PanelAccuracy: 6,
+		PanelPenalty:  4,
+		PanelFraction: 6,
+		PanelRTL:      3,
+	}
+	for _, panel := range Panels() {
+		series := Figure6(panel)
+		if len(series) != wantCurves[panel] {
+			t.Fatalf("panel %v: %d curves, want %d", panel, len(series), wantCurves[panel])
+		}
+		for _, s := range series {
+			if len(s.C) != len(s.Y) || len(s.C) < 10 {
+				t.Fatalf("panel %v series %q malformed", panel, s.Label)
+			}
+			// Every curve starts at speedup 1 (c=0).
+			if !almostEq(s.Y[0], 1) {
+				t.Fatalf("panel %v series %q: Y[0] = %v, want 1", panel, s.Label, s.Y[0])
+			}
+		}
+	}
+}
+
+func TestPanelStrings(t *testing.T) {
+	for _, p := range Panels() {
+		if p.String() == "?" {
+			t.Fatalf("panel %d has no label", p)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "specdsm/internal/mem"
+
+// EWITable is the early-write-invalidate table of §4.1: per processor, the
+// block address of its most recent write (or upgrade) request seen at this
+// home node. A write by processor P to block B predicts that P is done
+// writing its previously recorded block B' (if different), making B' a
+// candidate for Speculative Write-Invalidation.
+type EWITable struct {
+	last map[mem.NodeID]mem.BlockAddr
+	has  map[mem.NodeID]bool
+}
+
+// NewEWITable returns an empty table.
+func NewEWITable() *EWITable {
+	return &EWITable{
+		last: make(map[mem.NodeID]mem.BlockAddr),
+		has:  make(map[mem.NodeID]bool),
+	}
+}
+
+// Update records that writer issued a write/upgrade for addr. It returns
+// the previously recorded block for writer and reports whether that block
+// exists and differs from addr — i.e., whether SWI should be considered
+// for it.
+func (t *EWITable) Update(writer mem.NodeID, addr mem.BlockAddr) (prev mem.BlockAddr, swiCandidate bool) {
+	prev, ok := t.last[writer]
+	t.last[writer] = addr
+	t.has[writer] = true
+	if !ok || prev == addr {
+		return 0, false
+	}
+	return prev, true
+}
+
+// Last returns the most recent write block recorded for writer.
+func (t *EWITable) Last(writer mem.NodeID) (mem.BlockAddr, bool) {
+	if !t.has[writer] {
+		return 0, false
+	}
+	return t.last[writer], true
+}
+
+// Reset clears the table.
+func (t *EWITable) Reset() {
+	t.last = make(map[mem.NodeID]mem.BlockAddr)
+	t.has = make(map[mem.NodeID]bool)
+}

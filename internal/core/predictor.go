@@ -1,0 +1,183 @@
+package core
+
+import "specdsm/internal/mem"
+
+// Outcome reports how a predictor scored one observed message.
+type Outcome struct {
+	// Tracked is false when the predictor ignores this message type
+	// (e.g., MSP/VMSP ignore acknowledgements).
+	Tracked bool
+	// Predicted is true when the pattern table held a prediction for the
+	// history at the time the message arrived.
+	Predicted bool
+	// Correct is true when that prediction matched the message.
+	Correct bool
+}
+
+// Stats accumulates the accuracy/coverage counters reported in Figure 7,
+// Figure 8, and Table 3 of the paper.
+type Stats struct {
+	// Tracked counts observed messages of tracked types.
+	Tracked uint64
+	// Predicted counts messages for which a prediction was issued.
+	Predicted uint64
+	// Correct counts correctly predicted messages.
+	Correct uint64
+}
+
+// Accuracy is Correct/Predicted (Figure 7): the fraction of issued
+// predictions that were right. Returns 0 when no predictions were issued.
+func (s Stats) Accuracy() float64 {
+	if s.Predicted == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Predicted)
+}
+
+// Coverage is Predicted/Tracked (Table 3): the fraction of tracked
+// messages for which the predictor had learned a pattern.
+func (s Stats) Coverage() float64 {
+	if s.Tracked == 0 {
+		return 0
+	}
+	return float64(s.Predicted) / float64(s.Tracked)
+}
+
+// CorrectFraction is Correct/Tracked (the parenthesized product column of
+// Table 3): the overall fraction of messages predicted correctly.
+func (s Stats) CorrectFraction() float64 {
+	if s.Tracked == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Tracked)
+}
+
+func (s *Stats) add(o Outcome) {
+	if !o.Tracked {
+		return
+	}
+	s.Tracked++
+	if o.Predicted {
+		s.Predicted++
+	}
+	if o.Correct {
+		s.Correct++
+	}
+}
+
+// Census reports pattern-table occupancy for Table 4.
+type Census struct {
+	// Blocks counts allocated blocks (blocks that observed at least one
+	// tracked message).
+	Blocks int
+	// Entries counts pattern-table entries across all blocks.
+	Entries int
+	// HistoryDepth is the predictor's configured depth.
+	HistoryDepth int
+}
+
+// EntriesPerBlock is the average number of pattern-table entries per
+// allocated block (the "pte" columns of Table 4).
+func (c Census) EntriesPerBlock() float64 {
+	if c.Blocks == 0 {
+		return 0
+	}
+	return float64(c.Entries) / float64(c.Blocks)
+}
+
+// Predictor is the interface shared by Cosmos, MSP, and VMSP.
+type Predictor interface {
+	// Name returns "Cosmos", "MSP", or "VMSP".
+	Name() string
+	// HistoryDepth returns the configured history depth d.
+	HistoryDepth() int
+	// Observe feeds one directory-incoming message for block addr and
+	// returns the scoring outcome. Observe must be called in message
+	// arrival order.
+	Observe(addr mem.BlockAddr, obs Observation) Outcome
+	// Stats returns the accumulated accuracy counters.
+	Stats() Stats
+	// Census returns pattern-table occupancy for storage accounting.
+	Census() Census
+	// PredictReaders returns the set of nodes predicted to read block addr
+	// next, given the block's current history, together with a handle for
+	// verification feedback. ok is false when no read prediction exists.
+	PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool)
+	// PredictNext returns the predicted next symbol for the block's
+	// current history, if any.
+	PredictNext(addr mem.BlockAddr) (Symbol, bool)
+	// PredictsUpgradeBy reports whether, assuming reader joins the current
+	// read run, the predicted next symbol is a write/upgrade by that same
+	// reader — the migratory-sharing signature used by the speculative
+	// upgrade extension.
+	PredictsUpgradeBy(addr mem.BlockAddr, reader mem.NodeID) bool
+	// SWIAllowed reports whether speculative write-invalidation is
+	// permitted for the block's most recent write pattern (its premature
+	// bit is clear). Blocks with no recorded write pattern allow SWI.
+	SWIAllowed(addr mem.BlockAddr) bool
+	// SWIGuard returns a handle on the pattern entry that recorded the
+	// block's most recent write/upgrade. The speculation hardware captures
+	// the guard when it fires SWI and marks it premature if the producer
+	// turns out not to have been done with the block (§4.1). The guard
+	// stays bound to the entry even if the block's history advances.
+	SWIGuard(addr mem.BlockAddr) SWIGuard
+	// AssumeReaders tells the predictor that the speculation hardware has
+	// forwarded read-only copies to vec, so the block's history should
+	// evolve as if those reads had arrived (they never will as request
+	// messages — that is the point of speculation). Without this, the
+	// next write would overwrite the learned read pattern.
+	AssumeReaders(addr mem.BlockAddr, vec mem.ReaderVec)
+	// RetractReader undoes AssumeReaders for one node after verification
+	// reports the speculative copy was never referenced.
+	RetractReader(addr mem.BlockAddr, n mem.NodeID)
+	// Reset clears all tables and counters.
+	Reset()
+}
+
+// SWIGuard is a stable handle on the pattern-table entry carrying the SWI
+// premature bit for one write pattern. The zero value is a no-op guard
+// that always allows SWI.
+type SWIGuard struct {
+	e *entry
+}
+
+// Allowed reports whether SWI may fire for this pattern.
+func (g SWIGuard) Allowed() bool { return g.e == nil || !g.e.noSWI }
+
+// MarkPremature sets the premature bit, permanently suppressing SWI for
+// this pattern.
+func (g SWIGuard) MarkPremature() {
+	if g.e != nil {
+		g.e.noSWI = true
+	}
+}
+
+// ReadPrediction is a predicted upcoming reader set plus the pattern-table
+// entries that produced it, so that misspeculation verification can prune
+// readers that never referenced a speculatively forwarded block.
+type ReadPrediction struct {
+	Readers mem.ReaderVec
+	entries []*entry
+}
+
+// Prune removes node n from the pattern entries behind this prediction.
+// It implements the paper's "removes mispredicted request sequences from
+// the pattern tables" on negative verification feedback.
+func (rp ReadPrediction) Prune(n mem.NodeID) {
+	for _, e := range rp.entries {
+		if !e.pred.Valid() {
+			continue
+		}
+		if e.pred.Type != MsgRead {
+			continue
+		}
+		if e.pred.Vec != 0 {
+			e.pred.Vec = e.pred.Vec.Without(n)
+			if e.pred.Vec.Empty() {
+				e.pred = Symbol{}
+			}
+		} else if e.pred.Node == n {
+			e.pred = Symbol{}
+		}
+	}
+}

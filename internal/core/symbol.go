@@ -1,0 +1,131 @@
+// Package core implements the paper's primary contribution: pattern-based
+// coherence predictors attached to a DSM directory.
+//
+// Three predictors are provided, all built on one two-level (PAp-derived)
+// engine:
+//
+//   - Cosmos — the general message predictor of Mukherjee & Hill (ISCA '98),
+//     reproduced here as the baseline. It observes and predicts every
+//     incoming coherence message at the directory, including invalidation
+//     acknowledgements and writebacks.
+//   - MSP — the paper's Memory Sharing Predictor (§3). It observes and
+//     predicts only memory request messages (read, write, upgrade),
+//     eliminating acknowledgement-induced perturbation of the pattern
+//     tables.
+//   - VMSP — the Vector MSP (§3.1). Like MSP, but a sequence of reads
+//     between writes is folded into a single reader bit-vector symbol,
+//     eliminating read re-ordering effects.
+//
+// The package also provides the speculation-facing surface used by the
+// speculative coherent DSM (§4): predicted upcoming reader sets with
+// verification feedback (pruning mispredicted readers), the Speculative
+// Write-Invalidation premature bit, and the per-node early-write-invalidate
+// table.
+package core
+
+import (
+	"fmt"
+
+	"specdsm/internal/mem"
+)
+
+// MsgType enumerates the directory-incoming coherence message types that
+// predictors may observe. Requests (Read/Write/Upgrade) are tracked by all
+// predictors; acknowledgement types (AckInv, Writeback) only by Cosmos.
+type MsgType uint8
+
+const (
+	// MsgInvalid marks an empty/cleared symbol slot.
+	MsgInvalid MsgType = iota
+	// MsgRead is a request for a read-only copy.
+	MsgRead
+	// MsgWrite is a request for a writable copy.
+	MsgWrite
+	// MsgUpgrade promotes a read-only copy to writable.
+	MsgUpgrade
+	// MsgAckInv is a sharer's response to a read-only invalidation.
+	MsgAckInv
+	// MsgWriteback is an owner's data response to a recall/invalidation.
+	MsgWriteback
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgInvalid:
+		return "-"
+	case MsgRead:
+		return "Read"
+	case MsgWrite:
+		return "Write"
+	case MsgUpgrade:
+		return "Upgrade"
+	case MsgAckInv:
+		return "ack"
+	case MsgWriteback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// IsRequest reports whether t is a memory request message.
+func (t MsgType) IsRequest() bool {
+	return t == MsgRead || t == MsgWrite || t == MsgUpgrade
+}
+
+// IsWriteLike reports whether t acquires write permission.
+func (t MsgType) IsWriteLike() bool { return t == MsgWrite || t == MsgUpgrade }
+
+// ReqMsgType converts a protocol request kind to the predictor alphabet.
+func ReqMsgType(k mem.ReqKind) MsgType {
+	switch k {
+	case mem.ReqRead:
+		return MsgRead
+	case mem.ReqWrite:
+		return MsgWrite
+	case mem.ReqUpgrade:
+		return MsgUpgrade
+	default:
+		panic(fmt.Sprintf("core: unknown request kind %v", k))
+	}
+}
+
+// Observation is one incoming coherence message at the directory, as seen
+// by a predictor.
+type Observation struct {
+	Type MsgType
+	Node mem.NodeID
+}
+
+// Symbol is one element of a predictor's history/pattern alphabet. For
+// Cosmos and MSP a symbol is a (type, node) pair. For VMSP a read run is a
+// single symbol carrying the reader vector (Node is unused for vectors).
+type Symbol struct {
+	Type MsgType
+	Node mem.NodeID
+	Vec  mem.ReaderVec
+}
+
+// Equal reports exact symbol equality.
+func (s Symbol) Equal(o Symbol) bool {
+	return s.Type == o.Type && s.Node == o.Node && s.Vec == o.Vec
+}
+
+// Valid reports whether the symbol holds a real observation.
+func (s Symbol) Valid() bool { return s.Type != MsgInvalid }
+
+func (s Symbol) String() string {
+	if s.Type == MsgRead && s.Vec != 0 {
+		return fmt.Sprintf("<Read,%v>", s.Vec)
+	}
+	return fmt.Sprintf("<%v,P%d>", s.Type, s.Node)
+}
+
+// appendKey serializes the symbol into b for use as a pattern-table key.
+func (s Symbol) appendKey(b []byte) []byte {
+	b = append(b, byte(s.Type), byte(s.Node))
+	v := uint64(s.Vec)
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

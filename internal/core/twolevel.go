@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+
+	"specdsm/internal/mem"
+)
+
+// Kind selects one of the three predictor variants.
+type Kind uint8
+
+const (
+	// KindCosmos is the general message predictor baseline [17].
+	KindCosmos Kind = iota
+	// KindMSP is the request-only Memory Sharing Predictor (§3).
+	KindMSP
+	// KindVMSP is the Vector MSP with read-run folding (§3.1).
+	KindVMSP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCosmos:
+		return "Cosmos"
+	case KindMSP:
+		return "MSP"
+	case KindVMSP:
+		return "VMSP"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// entry is one pattern-table entry: the predicted successor of a specific
+// message-history sequence, plus the SWI premature bit (§4.1) for entries
+// whose prediction is a write or upgrade.
+type entry struct {
+	pred Symbol
+	// noSWI suppresses speculative write invalidation for this pattern
+	// after a premature invalidation has been observed.
+	noSWI bool
+	// conf is a 2-bit saturating confidence counter (an extension beyond
+	// the paper, off by default): incremented on a correct prediction,
+	// decremented on a wrong one. When a confidence threshold is
+	// configured, speculation surfaces only act on entries at or above it.
+	conf uint8
+	// uses/hits instrument per-entry reuse (learning-speed analysis).
+	uses uint64
+	hits uint64
+}
+
+// confMax saturates the 2-bit counter.
+const confMax = 3
+
+func (e *entry) confUp() {
+	if e.conf < confMax {
+		e.conf++
+	}
+}
+
+func (e *entry) confDown() {
+	if e.conf > 0 {
+		e.conf--
+	}
+}
+
+// blockState holds the per-block history register and pattern table.
+type blockState struct {
+	// hist holds up to depth most-recent symbols, oldest first.
+	hist []Symbol
+	// open is the read run accumulated since the last non-read symbol
+	// (VMSP only).
+	open mem.ReaderVec
+	// patterns maps an encoded history to its entry.
+	patterns map[string]*entry
+	// lastWriteEntry is the entry whose prediction recorded the block's
+	// most recent write/upgrade; it carries the SWI premature bit.
+	lastWriteEntry *entry
+}
+
+func (bs *blockState) key() string {
+	b := make([]byte, 0, len(bs.hist)*10)
+	for _, s := range bs.hist {
+		b = s.appendKey(b)
+	}
+	return string(b)
+}
+
+func (bs *blockState) push(s Symbol, depth int) {
+	if len(bs.hist) == depth {
+		copy(bs.hist, bs.hist[1:])
+		bs.hist[len(bs.hist)-1] = s
+		return
+	}
+	bs.hist = append(bs.hist, s)
+}
+
+// TwoLevel is the shared two-level adaptive predictor engine. It is
+// configured as Cosmos, MSP, or VMSP via Kind; see New.
+type TwoLevel struct {
+	kind   Kind
+	depth  int
+	blocks map[mem.BlockAddr]*blockState
+	stats  Stats
+	// maxChain bounds reader-chain expansion for non-vector predictors in
+	// PredictReaders.
+	maxChain int
+	// confThreshold gates the speculation surfaces (PredictReaders,
+	// PredictNext, PredictsUpgradeBy) on per-entry confidence; 0 disables
+	// gating (the paper's behaviour). Accuracy scoring is unaffected.
+	confThreshold uint8
+}
+
+// New constructs a predictor of the given kind with history depth d (the
+// paper evaluates d = 1, 2, 4).
+func New(kind Kind, depth int) *TwoLevel {
+	if depth < 1 {
+		panic(fmt.Sprintf("core: history depth %d < 1", depth))
+	}
+	return &TwoLevel{
+		kind:     kind,
+		depth:    depth,
+		blocks:   make(map[mem.BlockAddr]*blockState),
+		maxChain: mem.MaxNodes,
+	}
+}
+
+// NewCosmos returns the general message predictor baseline.
+func NewCosmos(depth int) *TwoLevel { return New(KindCosmos, depth) }
+
+// NewMSP returns the request-only Memory Sharing Predictor.
+func NewMSP(depth int) *TwoLevel { return New(KindMSP, depth) }
+
+// NewVMSP returns the Vector Memory Sharing Predictor.
+func NewVMSP(depth int) *TwoLevel { return New(KindVMSP, depth) }
+
+// SetConfidenceThreshold enables confidence gating of the speculation
+// surfaces: only pattern entries whose 2-bit counter has reached n drive
+// speculation. n is clamped to [0, 3]; 0 restores the paper's behaviour.
+func (p *TwoLevel) SetConfidenceThreshold(n int) {
+	switch {
+	case n <= 0:
+		p.confThreshold = 0
+	case n > confMax:
+		p.confThreshold = confMax
+	default:
+		p.confThreshold = uint8(n)
+	}
+}
+
+// confident reports whether the entry may drive speculation.
+func (p *TwoLevel) confident(e *entry) bool {
+	return e.conf >= p.confThreshold
+}
+
+// Name implements Predictor.
+func (p *TwoLevel) Name() string { return p.kind.String() }
+
+// Kind returns the predictor variant.
+func (p *TwoLevel) Kind() Kind { return p.kind }
+
+// HistoryDepth implements Predictor.
+func (p *TwoLevel) HistoryDepth() int { return p.depth }
+
+// Stats implements Predictor.
+func (p *TwoLevel) Stats() Stats { return p.stats }
+
+// Reset implements Predictor.
+func (p *TwoLevel) Reset() {
+	p.blocks = make(map[mem.BlockAddr]*blockState)
+	p.stats = Stats{}
+}
+
+// tracks reports whether this predictor observes the message type. Cosmos
+// tracks everything; MSP/VMSP only requests (§3: "an MSP only predicts
+// memory request messages").
+func (p *TwoLevel) tracks(t MsgType) bool {
+	if t == MsgInvalid {
+		return false
+	}
+	if p.kind == KindCosmos {
+		return true
+	}
+	return t.IsRequest()
+}
+
+func (p *TwoLevel) block(addr mem.BlockAddr) *blockState {
+	bs := p.blocks[addr]
+	if bs == nil {
+		bs = &blockState{patterns: make(map[string]*entry)}
+		p.blocks[addr] = bs
+	}
+	return bs
+}
+
+// Observe implements Predictor. Messages must be fed in directory arrival
+// order; each tracked message is scored exactly once against the
+// prediction in effect when it arrived, then learned.
+func (p *TwoLevel) Observe(addr mem.BlockAddr, obs Observation) Outcome {
+	if !p.tracks(obs.Type) {
+		return Outcome{}
+	}
+	bs := p.block(addr)
+
+	if p.kind == KindVMSP {
+		return p.observeVMSP(bs, obs)
+	}
+
+	sym := Symbol{Type: obs.Type, Node: obs.Node}
+	out := p.scoreAndLearn(bs, sym)
+	p.stats.add(out)
+	return out
+}
+
+// observeVMSP folds reads into the open run vector (§3.1). Each read is
+// scored by membership in the predicted vector; a non-read first closes
+// any open run (recording the complete vector as one history symbol) and
+// is then scored as an ordinary symbol.
+func (p *TwoLevel) observeVMSP(bs *blockState, obs Observation) Outcome {
+	if obs.Type == MsgRead {
+		out := Outcome{Tracked: true}
+		if e, ok := bs.patterns[bs.key()]; ok && e.pred.Valid() {
+			out.Predicted = true
+			e.uses++
+			if e.pred.Type == MsgRead && e.pred.Vec.Has(obs.Node) && !bs.open.Has(obs.Node) {
+				out.Correct = true
+				e.hits++
+				e.confUp()
+			} else {
+				e.confDown()
+			}
+		}
+		bs.open = bs.open.With(obs.Node)
+		p.stats.add(out)
+		return out
+	}
+
+	// Non-read: close the open run first, recording the actual complete
+	// vector as the successor of the pre-run history. The individual reads
+	// were already scored; recording is scoreless.
+	if !bs.open.Empty() {
+		vec := Symbol{Type: MsgRead, Vec: bs.open}
+		p.learn(bs, vec)
+		bs.open = 0
+	}
+	sym := Symbol{Type: obs.Type, Node: obs.Node}
+	out := p.scoreAndLearn(bs, sym)
+	p.stats.add(out)
+	return out
+}
+
+// scoreAndLearn scores sym against the entry for the current history, then
+// records sym as that history's new prediction and pushes it.
+func (p *TwoLevel) scoreAndLearn(bs *blockState, sym Symbol) Outcome {
+	out := Outcome{Tracked: true}
+	key := bs.key()
+	e, ok := bs.patterns[key]
+	if ok && e.pred.Valid() {
+		out.Predicted = true
+		e.uses++
+		if e.pred.Equal(sym) {
+			out.Correct = true
+			e.hits++
+			e.confUp()
+		} else {
+			e.confDown()
+		}
+		e.pred = sym
+	} else if ok {
+		e.pred = sym
+	} else {
+		e = &entry{pred: sym}
+		bs.patterns[key] = e
+	}
+	if sym.Type.IsWriteLike() {
+		bs.lastWriteEntry = e
+	}
+	bs.push(sym, p.depth)
+	return out
+}
+
+// learn records sym as the successor of the current history without
+// scoring (used when closing VMSP read runs).
+func (p *TwoLevel) learn(bs *blockState, sym Symbol) {
+	key := bs.key()
+	if e, ok := bs.patterns[key]; ok {
+		e.pred = sym
+	} else {
+		bs.patterns[key] = &entry{pred: sym}
+	}
+	bs.push(sym, p.depth)
+}
+
+// PredictNext implements Predictor: the predicted successor of the
+// block's current (closed) history.
+func (p *TwoLevel) PredictNext(addr mem.BlockAddr) (Symbol, bool) {
+	bs := p.blocks[addr]
+	if bs == nil {
+		return Symbol{}, false
+	}
+	e, ok := bs.patterns[bs.key()]
+	if !ok || !e.pred.Valid() || !p.confident(e) {
+		return Symbol{}, false
+	}
+	return e.pred, true
+}
+
+// PredictReaders implements Predictor.
+//
+// For VMSP the prediction is the single vector entry following the current
+// history. For MSP and Cosmos — which record reads individually — the
+// reader set is expanded by chaining predictions: follow the predicted
+// read symbols through the pattern table until a non-read prediction, a
+// missing entry, a repeated reader, or the chain bound is reached. The
+// paper's speculative DSM uses VMSP; chaining lets the benchmarks compare
+// speculation quality across predictors as an ablation.
+func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
+	bs := p.blocks[addr]
+	if bs == nil {
+		return ReadPrediction{}, false
+	}
+	if p.kind == KindVMSP {
+		e, ok := bs.patterns[bs.key()]
+		if !ok || e.pred.Type != MsgRead || e.pred.Vec.Empty() || !p.confident(e) {
+			return ReadPrediction{}, false
+		}
+		return ReadPrediction{Readers: e.pred.Vec, entries: []*entry{e}}, true
+	}
+
+	// Chain expansion over a scratch copy of the history.
+	hist := make([]Symbol, len(bs.hist))
+	copy(hist, bs.hist)
+	scratch := &blockState{hist: hist, patterns: bs.patterns}
+	var rp ReadPrediction
+	for i := 0; i < p.maxChain; i++ {
+		e, ok := scratch.patterns[scratch.key()]
+		if !ok || e.pred.Type != MsgRead || !e.pred.Valid() || !p.confident(e) {
+			break
+		}
+		if rp.Readers.Has(e.pred.Node) {
+			break
+		}
+		rp.Readers = rp.Readers.With(e.pred.Node)
+		rp.entries = append(rp.entries, e)
+		scratch.push(e.pred, p.depth)
+	}
+	if rp.Readers.Empty() {
+		return ReadPrediction{}, false
+	}
+	return rp, true
+}
+
+// PredictsUpgradeBy implements Predictor. It must be called after the
+// reader's request has been observed. For MSP/Cosmos the observation
+// already pushed the read into the history, so the current history's
+// prediction is the read's successor; for VMSP the read only opened the
+// run, so the run is hypothetically closed (with reader included) first.
+func (p *TwoLevel) PredictsUpgradeBy(addr mem.BlockAddr, reader mem.NodeID) bool {
+	bs := p.blocks[addr]
+	if bs == nil {
+		return false
+	}
+	var e *entry
+	var ok bool
+	if p.kind == KindVMSP {
+		hist := make([]Symbol, len(bs.hist))
+		copy(hist, bs.hist)
+		scratch := &blockState{hist: hist, patterns: bs.patterns}
+		scratch.push(Symbol{Type: MsgRead, Vec: bs.open.With(reader)}, p.depth)
+		e, ok = scratch.patterns[scratch.key()]
+	} else {
+		e, ok = bs.patterns[bs.key()]
+	}
+	if !ok || !e.pred.Valid() || !p.confident(e) {
+		return false
+	}
+	return e.pred.Type.IsWriteLike() && e.pred.Node == reader
+}
+
+// SWIAllowed implements Predictor.
+func (p *TwoLevel) SWIAllowed(addr mem.BlockAddr) bool {
+	return p.SWIGuard(addr).Allowed()
+}
+
+// SWIGuard implements Predictor.
+func (p *TwoLevel) SWIGuard(addr mem.BlockAddr) SWIGuard {
+	bs := p.blocks[addr]
+	if bs == nil {
+		return SWIGuard{}
+	}
+	return SWIGuard{e: bs.lastWriteEntry}
+}
+
+// AssumeReaders implements Predictor. For VMSP the forwarded readers join
+// the open run; for MSP/Cosmos they are recorded and pushed as individual
+// read symbols (scorelessly), mirroring the history that real read
+// requests would have produced.
+func (p *TwoLevel) AssumeReaders(addr mem.BlockAddr, vec mem.ReaderVec) {
+	if vec.Empty() {
+		return
+	}
+	bs := p.block(addr)
+	if p.kind == KindVMSP {
+		bs.open |= vec
+		return
+	}
+	vec.ForEach(func(n mem.NodeID) {
+		p.learn(bs, Symbol{Type: MsgRead, Node: n})
+	})
+}
+
+// RetractReader implements Predictor. Only the VMSP open run can be
+// retracted; for MSP/Cosmos the pushed history symbol is left in place
+// (the pattern entries themselves are fixed via ReadPrediction.Prune).
+func (p *TwoLevel) RetractReader(addr mem.BlockAddr, n mem.NodeID) {
+	bs := p.blocks[addr]
+	if bs == nil {
+		return
+	}
+	bs.open = bs.open.Without(n)
+}
+
+// Census implements Predictor.
+func (p *TwoLevel) Census() Census {
+	c := Census{HistoryDepth: p.depth, Blocks: len(p.blocks)}
+	for _, bs := range p.blocks {
+		c.Entries += len(bs.patterns)
+	}
+	return c
+}
+
+// BytesPerBlock evaluates the paper's Table 4 storage formulas for a
+// 16-processor machine at history depth one:
+//
+//	Cosmos: (7 + 14·pte)/8  — 3-bit type + 4-bit id per symbol
+//	MSP:    (6 + 12·pte)/8  — 2-bit type + 4-bit id per symbol
+//	VMSP:   (18 + 24·pte)/8 — 2-bit type + 16-bit vector history symbol;
+//	        a pte holds one vector plus one 6-bit request
+//
+// pte is the average pattern-table entries per allocated block.
+func BytesPerBlock(kind Kind, pte float64) float64 {
+	switch kind {
+	case KindCosmos:
+		return (7 + 14*pte) / 8
+	case KindMSP:
+		return (6 + 12*pte) / 8
+	case KindVMSP:
+		return (18 + 24*pte) / 8
+	default:
+		panic(fmt.Sprintf("core: unknown kind %v", kind))
+	}
+}
+
+var _ Predictor = (*TwoLevel)(nil)

@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"fmt"
+
+	"specdsm/internal/mem"
+	"specdsm/internal/protocol"
+	"specdsm/internal/sim"
+)
+
+// proc is one in-order processor: it executes its program sequentially,
+// blocking on every memory access until completion (the paper's simulated
+// processors stall on remote accesses; speculation's benefit is turning
+// those stalls into local hits).
+type proc struct {
+	m    *Machine
+	id   mem.NodeID
+	prog Program
+	pc   int
+
+	compute  sim.Cycle
+	sync     sim.Cycle
+	reqWait  sim.Cycle
+	accesses uint64
+	hits     uint64
+	specHits uint64
+	locals   uint64
+	remotes  uint64
+
+	finished   bool
+	finishTime sim.Cycle
+	waitStart  sim.Cycle // barrier/lock arrival time
+}
+
+func (p *proc) step() {
+	if p.pc >= len(p.prog) {
+		p.finished = true
+		p.finishTime = p.m.kernel.Now()
+		p.m.running--
+		// A processor finishing can satisfy a barrier among the remaining
+		// runners (workloads where epilogues differ in barrier counts).
+		p.m.recheckBarriers()
+		return
+	}
+	op := p.prog[p.pc]
+	p.pc++
+	switch op.Kind {
+	case OpCompute:
+		p.compute += op.Cycles
+		p.m.kernel.After(op.Cycles, p.step)
+	case OpRead, OpWrite:
+		p.accesses++
+		p.m.sys.Node(p.id).Access(op.Kind == OpWrite, op.Addr, func(out protocol.AccessOutcome) {
+			switch out.Class {
+			case protocol.ClassHit:
+				p.hits++
+				p.compute += out.Latency
+			case protocol.ClassSpecHit:
+				p.specHits++
+				p.compute += out.Latency
+			case protocol.ClassLocal:
+				p.locals++
+				p.compute += out.Latency
+			case protocol.ClassProtocol:
+				p.remotes++
+				p.reqWait += out.Latency
+			}
+			p.step()
+		})
+	case OpBarrier:
+		p.waitStart = p.m.kernel.Now()
+		p.m.barrier(op.ID).arrive(p)
+	case OpLock:
+		p.waitStart = p.m.kernel.Now()
+		p.m.lock(op.ID).acquire(p)
+	case OpUnlock:
+		p.m.lock(op.ID).release(p)
+		p.step()
+	default:
+		panic(fmt.Sprintf("machine: unknown op kind %v", op.Kind))
+	}
+}
+
+// barrier is a centralized all-processor barrier. Waiting time counts as
+// synchronization (folded into Figure 9's computation bucket, per the
+// paper's definition).
+type barrier struct {
+	m       *Machine
+	waiters []*proc
+}
+
+func (m *Machine) barrier(id int) *barrier {
+	b := m.barriers[id]
+	if b == nil {
+		b = &barrier{m: m}
+		m.barriers[id] = b
+	}
+	return b
+}
+
+func (b *barrier) arrive(p *proc) {
+	b.waiters = append(b.waiters, p)
+	b.tryRelease()
+}
+
+func (b *barrier) tryRelease() {
+	if len(b.waiters) == 0 || len(b.waiters) < b.m.running {
+		return
+	}
+	now := b.m.kernel.Now()
+	ws := b.waiters
+	b.waiters = nil
+	for _, w := range ws {
+		w.sync += now - w.waitStart
+		b.m.kernel.After(b.m.cfg.BarrierExit, w.step)
+	}
+}
+
+func (m *Machine) recheckBarriers() {
+	for _, b := range m.barriers {
+		b.tryRelease()
+	}
+}
+
+// lock is an abstract FIFO queue lock with a fixed hand-off latency,
+// modeling a contended remote lock without routing it through the
+// coherence protocol.
+type lock struct {
+	m     *Machine
+	held  bool
+	owner mem.NodeID
+	queue []*proc
+}
+
+func (m *Machine) lock(id int) *lock {
+	l := m.locks[id]
+	if l == nil {
+		l = &lock{m: m}
+		m.locks[id] = l
+	}
+	return l
+}
+
+func (l *lock) acquire(p *proc) {
+	if !l.held {
+		l.held = true
+		l.owner = p.id
+		l.m.kernel.After(l.m.cfg.LockTransfer, p.step)
+		return
+	}
+	l.queue = append(l.queue, p)
+}
+
+func (l *lock) release(p *proc) {
+	if !l.held || l.owner != p.id {
+		panic(fmt.Sprintf("machine: processor %d releasing lock it does not hold", p.id))
+	}
+	if len(l.queue) == 0 {
+		l.held = false
+		return
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	l.owner = next.id
+	now := l.m.kernel.Now()
+	next.sync += now - next.waitStart
+	l.m.kernel.After(l.m.cfg.LockTransfer, next.step)
+}

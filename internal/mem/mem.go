@@ -1,0 +1,156 @@
+// Package mem defines the fundamental identifiers shared by every layer of
+// the simulated distributed shared memory machine: node identifiers, block
+// addresses, request kinds, and reader bit-vectors.
+//
+// The package is deliberately tiny and dependency-free; both the coherence
+// protocol (internal/protocol) and the predictors (internal/core) build on
+// it without depending on each other.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// NodeID identifies one node of the machine. Nodes are numbered 0..N-1.
+// The paper simulates a 16-node CC-NUMA; the implementation supports up to
+// 64 nodes (the width of a reader vector word).
+type NodeID uint8
+
+// NoNode is a sentinel for "no owner"/"no node".
+const NoNode NodeID = 0xFF
+
+// MaxNodes is the largest machine size supported by ReaderVec.
+const MaxNodes = 64
+
+// BlockAddr is the address of one coherence block. Addresses are already
+// block-aligned indices (the simulator has no byte-level addressing needs);
+// a block address embeds its home node so that home lookup is O(1).
+type BlockAddr uint64
+
+// BlockBytes is the coherence block size from Table 1 of the paper.
+const BlockBytes = 32
+
+// homeShift positions the home node in the top byte of a BlockAddr.
+const homeShift = 56
+
+// MakeAddr constructs the address of the idx-th block homed at node home.
+// Every distinctly numbered block is a distinct 32-byte coherence unit.
+func MakeAddr(home NodeID, idx uint64) BlockAddr {
+	if idx >= 1<<homeShift {
+		panic(fmt.Sprintf("mem: block index %d out of range", idx))
+	}
+	return BlockAddr(uint64(home)<<homeShift | idx)
+}
+
+// Home returns the node that owns the directory entry for the block.
+func (a BlockAddr) Home() NodeID { return NodeID(a >> homeShift) }
+
+// Index returns the per-home block index encoded in the address.
+func (a BlockAddr) Index() uint64 { return uint64(a) & (1<<homeShift - 1) }
+
+// String renders "home:index" for debugging.
+func (a BlockAddr) String() string {
+	return fmt.Sprintf("%d:%#x", a.Home(), a.Index())
+}
+
+// ReqKind enumerates the three memory request message types of the
+// full-map write-invalidate protocol (paper §2): Read fetches a read-only
+// copy, Write fetches a writable copy, Upgrade promotes an already cached
+// read-only copy to writable.
+type ReqKind uint8
+
+const (
+	ReqRead ReqKind = iota
+	ReqWrite
+	ReqUpgrade
+	numReqKinds
+)
+
+// NumReqKinds is the number of distinct request kinds (used by encoders).
+const NumReqKinds = int(numReqKinds)
+
+// IsWriteLike reports whether the request acquires write permission.
+func (k ReqKind) IsWriteLike() bool { return k == ReqWrite || k == ReqUpgrade }
+
+func (k ReqKind) String() string {
+	switch k {
+	case ReqRead:
+		return "Read"
+	case ReqWrite:
+		return "Write"
+	case ReqUpgrade:
+		return "Upgrade"
+	default:
+		return fmt.Sprintf("ReqKind(%d)", uint8(k))
+	}
+}
+
+// ReaderVec is a bit-vector of node identifiers, used by the full-map
+// directory for its sharer list and by VMSP to encode a read run
+// (paper §3.1). The zero value is the empty vector.
+type ReaderVec uint64
+
+// VecOf builds a vector containing the given nodes.
+func VecOf(nodes ...NodeID) ReaderVec {
+	var v ReaderVec
+	for _, n := range nodes {
+		v = v.With(n)
+	}
+	return v
+}
+
+// With returns the vector with node n added.
+func (v ReaderVec) With(n NodeID) ReaderVec {
+	if n >= MaxNodes {
+		panic(fmt.Sprintf("mem: node %d out of range", n))
+	}
+	return v | 1<<n
+}
+
+// Without returns the vector with node n removed.
+func (v ReaderVec) Without(n NodeID) ReaderVec { return v &^ (1 << n) }
+
+// Has reports whether node n is in the vector.
+func (v ReaderVec) Has(n NodeID) bool {
+	return n < MaxNodes && v&(1<<n) != 0
+}
+
+// Empty reports whether no nodes are set.
+func (v ReaderVec) Empty() bool { return v == 0 }
+
+// Count returns the number of nodes in the vector.
+func (v ReaderVec) Count() int { return bits.OnesCount64(uint64(v)) }
+
+// Nodes returns the member nodes in ascending order.
+func (v ReaderVec) Nodes() []NodeID {
+	out := make([]NodeID, 0, v.Count())
+	for w := uint64(v); w != 0; w &= w - 1 {
+		out = append(out, NodeID(bits.TrailingZeros64(w)))
+	}
+	return out
+}
+
+// ForEach calls fn for every member node in ascending order.
+func (v ReaderVec) ForEach(fn func(NodeID)) {
+	for w := uint64(v); w != 0; w &= w - 1 {
+		fn(NodeID(bits.TrailingZeros64(w)))
+	}
+}
+
+// String renders "{0,3,7}".
+func (v ReaderVec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	v.ForEach(func(n NodeID) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", n)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

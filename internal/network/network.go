@@ -1,0 +1,138 @@
+// Package network models the point-to-point interconnect of the simulated
+// DSM: a constant-latency switched fabric with contention modeled at the
+// network interfaces (NIs), as in the paper's methodology (§6): "we assume
+// a point-to-point network with a constant latency of 80 cycles but model
+// contention at the network interfaces."
+//
+// Each node has one send-side NI and one receive-side NI. An NI processes
+// one message at a time, each occupying the interface for a fixed number of
+// cycles; messages queue FIFO when the interface is busy. This queueing is
+// one of the two sources of message re-ordering that perturb pattern-based
+// predictors (the other is the blocking directory in internal/protocol).
+package network
+
+import (
+	"fmt"
+
+	"specdsm/internal/mem"
+	"specdsm/internal/sim"
+)
+
+// Config holds the interconnect timing parameters, in processor cycles.
+type Config struct {
+	// FlightLatency is the switch traversal time for any src→dst pair.
+	FlightLatency sim.Cycle
+	// SendOccupancy is how long a message occupies the sender NI.
+	SendOccupancy sim.Cycle
+	// RecvOccupancy is how long a message occupies the receiver NI.
+	RecvOccupancy sim.Cycle
+}
+
+// DefaultConfig matches Table 1 of the paper: an 80-cycle network with
+// NI processing calibrated so a clean two-hop remote miss totals 418
+// cycles (see internal/machine for the full latency budget).
+func DefaultConfig() Config {
+	return Config{FlightLatency: 80, SendOccupancy: 20, RecvOccupancy: 20}
+}
+
+// Handler consumes a delivered message at a node.
+type Handler func(src mem.NodeID, payload any)
+
+// Network connects n nodes through the simulated fabric.
+type Network struct {
+	cfg      Config
+	kernel   *sim.Kernel
+	handlers []Handler
+	sendFree []sim.Cycle // next cycle each sender NI is free
+	recvFree []sim.Cycle // next cycle each receiver NI is free
+
+	// Stats
+	sent      uint64
+	delivered uint64
+	// sendQueueCycles accumulates cycles messages spent waiting for a
+	// busy sender NI (a contention measure).
+	sendQueueCycles sim.Cycle
+	recvQueueCycles sim.Cycle
+}
+
+// New creates a network for nodes 0..n-1 on the given kernel.
+func New(k *sim.Kernel, n int, cfg Config) *Network {
+	if n <= 0 || n > mem.MaxNodes {
+		panic(fmt.Sprintf("network: invalid node count %d", n))
+	}
+	return &Network{
+		cfg:      cfg,
+		kernel:   k,
+		handlers: make([]Handler, n),
+		sendFree: make([]sim.Cycle, n),
+		recvFree: make([]sim.Cycle, n),
+	}
+}
+
+// Nodes returns the number of attached nodes.
+func (nw *Network) Nodes() int { return len(nw.handlers) }
+
+// SetHandler registers the message handler for node id. Must be called for
+// every node before any message addressed to it is delivered.
+func (nw *Network) SetHandler(id mem.NodeID, h Handler) {
+	nw.handlers[id] = h
+}
+
+// Send transmits payload from src to dst, modeling sender NI occupancy,
+// flight latency, and receiver NI occupancy. Delivery invokes dst's
+// handler. Sending to self is allowed (some protocol replies are local)
+// and still pays NI costs, modeling the loopback through the DSM board.
+func (nw *Network) Send(src, dst mem.NodeID, payload any) {
+	now := nw.kernel.Now()
+	start := now
+	if nw.sendFree[int(src)] > start {
+		nw.sendQueueCycles += nw.sendFree[int(src)] - start
+		start = nw.sendFree[int(src)]
+	}
+	done := start + nw.cfg.SendOccupancy
+	nw.sendFree[int(src)] = done
+	arrive := done + nw.cfg.FlightLatency
+	nw.sent++
+
+	nw.kernel.At(arrive, func() {
+		at := nw.kernel.Now()
+		begin := at
+		if nw.recvFree[int(dst)] > begin {
+			nw.recvQueueCycles += nw.recvFree[int(dst)] - begin
+			begin = nw.recvFree[int(dst)]
+		}
+		ready := begin + nw.cfg.RecvOccupancy
+		nw.recvFree[int(dst)] = ready
+		nw.kernel.At(ready, func() {
+			nw.delivered++
+			h := nw.handlers[dst]
+			if h == nil {
+				panic(fmt.Sprintf("network: no handler for node %d", dst))
+			}
+			h(src, payload)
+		})
+	})
+}
+
+// Stats reports message and contention counters.
+type Stats struct {
+	Sent            uint64
+	Delivered       uint64
+	SendQueueCycles sim.Cycle
+	RecvQueueCycles sim.Cycle
+}
+
+// Stats returns a snapshot of the network counters.
+func (nw *Network) Stats() Stats {
+	return Stats{
+		Sent:            nw.sent,
+		Delivered:       nw.delivered,
+		SendQueueCycles: nw.sendQueueCycles,
+		RecvQueueCycles: nw.recvQueueCycles,
+	}
+}
+
+// MinLatency returns the no-contention latency from send to delivery.
+func (nw *Network) MinLatency() sim.Cycle {
+	return nw.cfg.SendOccupancy + nw.cfg.FlightLatency + nw.cfg.RecvOccupancy
+}

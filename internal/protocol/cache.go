@@ -1,0 +1,397 @@
+package protocol
+
+import (
+	"fmt"
+
+	"specdsm/internal/mem"
+	"specdsm/internal/sim"
+)
+
+type lineState uint8
+
+const (
+	lineInvalid lineState = iota
+	lineShared
+	lineExclusive
+)
+
+// line is one cached block: the merged processor-cache/remote-cache model.
+// spec marks a speculatively placed copy; referenced is the verification
+// bit of §4.2 (set on first processor reference); written tracks whether
+// the processor stored to the line since fill (used by the speculative
+// upgrade extension's verification); lastUse orders LRU eviction in
+// finite-cache mode.
+type line struct {
+	state      lineState
+	version    uint64
+	spec       bool
+	referenced bool
+	written    bool
+	lastUse    uint64
+}
+
+// pendingAccess is the single outstanding miss of the in-order processor.
+// invalOnFill implements the standard MSHR rule for an invalidation that
+// arrives while the fill is in flight: the data is used exactly once to
+// complete the access (the read is ordered before the conflicting write)
+// and the line is then dropped.
+type pendingAccess struct {
+	isWrite     bool
+	start       sim.Cycle
+	done        func(AccessOutcome)
+	invalOnFill bool
+}
+
+// cache is the processor-side controller of one node.
+type cache struct {
+	n     *Node
+	lines map[mem.BlockAddr]*line
+	pend  map[mem.BlockAddr]*pendingAccess
+	stats CacheStats
+	// Finite-cache mode state.
+	valid    int    // current valid-line count
+	useClock uint64 // LRU timestamp source
+	// evictPending marks exclusive lines whose voluntary writeback is in
+	// flight; a recall crossing it is ignored (the writeback doubles as
+	// the recall response). Cleared on the next exclusive fill.
+	evictPending map[mem.BlockAddr]bool
+}
+
+func newCache(n *Node) *cache {
+	return &cache{
+		n:            n,
+		lines:        make(map[mem.BlockAddr]*line),
+		pend:         make(map[mem.BlockAddr]*pendingAccess),
+		evictPending: make(map[mem.BlockAddr]bool),
+	}
+}
+
+func (c *cache) line(addr mem.BlockAddr) *line {
+	l := c.lines[addr]
+	if l == nil {
+		l = &line{}
+		c.lines[addr] = l
+	}
+	return l
+}
+
+// touch stamps the line for LRU.
+func (c *cache) touch(l *line) {
+	c.useClock++
+	l.lastUse = c.useClock
+}
+
+// install accounts a line transitioning invalid -> valid, evicting first
+// if the capacity bound requires it. Re-acquiring a block also retires
+// any eviction-writeback flag: a recall crossing that writeback must have
+// arrived before the new grant (per-pair FIFO), so a recall seen after
+// this point is a fresh one.
+func (c *cache) install(addr mem.BlockAddr, l *line) {
+	delete(c.evictPending, addr)
+	cap := c.n.opts.CacheCapacity
+	if cap > 0 && l.state == lineInvalid {
+		for c.valid >= cap {
+			if !c.evictOne(addr) {
+				break // nothing evictable; exceed rather than deadlock
+			}
+		}
+	}
+	if l.state == lineInvalid {
+		c.valid++
+	}
+}
+
+// drop accounts a line transitioning valid -> invalid.
+func (c *cache) drop(l *line) {
+	if l.state != lineInvalid {
+		c.valid--
+	}
+	l.state = lineInvalid
+	l.spec = false
+	l.written = false
+}
+
+// evictOne removes the least-recently-used valid line other than keep.
+// Shared victims drop silently (the directory's sharer list tolerates
+// over-approximation); exclusive victims write back voluntarily.
+func (c *cache) evictOne(keep mem.BlockAddr) bool {
+	var victimAddr mem.BlockAddr
+	var victim *line
+	found := false
+	for addr, l := range c.lines {
+		if l.state == lineInvalid || addr == keep {
+			continue
+		}
+		if !found || l.lastUse < victim.lastUse || (l.lastUse == victim.lastUse && addr < victimAddr) {
+			victimAddr, victim, found = addr, l, true
+		}
+	}
+	if !found {
+		return false
+	}
+	c.stats.Evictions++
+	if victim.state == lineExclusive {
+		c.stats.EvictionWritebacks++
+		c.evictPending[victimAddr] = true
+		wb := writebackMsg{
+			Addr:      victimAddr,
+			Version:   victim.version,
+			Written:   victim.written,
+			Voluntary: true,
+		}
+		home := victimAddr.Home()
+		c.n.sys.kernel.After(c.n.sys.timing.CacheAccess, func() {
+			c.n.sys.route(c.n.id, home, wb)
+		})
+	}
+	c.drop(victim)
+	return true
+}
+
+// Access issues one processor load (isWrite=false) or store (isWrite=true).
+// done fires when the access completes, with its latency classification.
+// The machine layer guarantees one outstanding access per processor.
+func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome)) {
+	t := c.n.sys.timing
+	k := c.n.sys.kernel
+	l := c.lines[addr]
+
+	// Hit: load on S/E, store on E.
+	if l != nil && l.state != lineInvalid && (!isWrite || l.state == lineExclusive) {
+		c.touch(l)
+		class := ClassHit
+		if l.spec && !l.referenced {
+			l.referenced = true
+			c.stats.SpecReferenced++
+			class = ClassSpecHit
+			c.stats.SpecHits++
+		} else {
+			c.stats.Hits++
+		}
+		if isWrite {
+			l.written = true
+		}
+		c.n.sys.checkObserved(c.n.id, addr, l.version)
+		k.After(t.HitLatency, func() {
+			done(AccessOutcome{Class: class, Latency: t.HitLatency})
+		})
+		return
+	}
+
+	home := addr.Home()
+
+	// Local fast path: an access to one's own home blocks that needs no
+	// coherence activity costs Table 1's flat 104-cycle local latency and
+	// produces no coherence message (so it is invisible to predictors).
+	if home == c.n.id {
+		if version, ok := c.n.dir.tryLocalFastPath(addr, isWrite); ok {
+			nl := c.line(addr)
+			c.install(addr, nl)
+			nl.state = lineShared
+			if isWrite {
+				nl.state = lineExclusive
+			}
+			nl.version = version
+			nl.spec = false
+			nl.referenced = false
+			nl.written = isWrite
+			c.touch(nl)
+			c.stats.LocalAccesses++
+			c.n.sys.checkObserved(c.n.id, addr, version)
+			k.After(t.LocalMem, func() {
+				done(AccessOutcome{Class: ClassLocal, Latency: t.LocalMem})
+			})
+			return
+		}
+	}
+
+	// Coherence transaction required.
+	if c.pend[addr] != nil {
+		panic(fmt.Sprintf("protocol: node %d duplicate outstanding access to %v", c.n.id, addr))
+	}
+	kind := mem.ReqRead
+	if isWrite {
+		if l != nil && l.state == lineShared {
+			kind = mem.ReqUpgrade
+		} else {
+			kind = mem.ReqWrite
+		}
+	}
+	if isWrite {
+		c.stats.ProtocolWrites++
+	} else {
+		c.stats.ProtocolReads++
+	}
+	c.pend[addr] = &pendingAccess{isWrite: isWrite, start: k.Now(), done: done}
+	req := reqMsg{Kind: kind, Addr: addr}
+	var hint *swiHintMsg
+	if isWrite && c.n.opts.EnableSWI && c.n.opts.Active != nil {
+		if prev, candidate := c.n.ewi.Update(c.n.id, addr); candidate {
+			hint = &swiHintMsg{Addr: prev}
+		}
+	}
+	k.After(t.BusOverhead, func() {
+		c.n.sys.route(c.n.id, home, req)
+		if hint != nil {
+			c.n.sys.route(c.n.id, hint.Addr.Home(), *hint)
+		}
+	})
+}
+
+// deliver dispatches a protocol message addressed to this node's cache.
+func (c *cache) deliver(src mem.NodeID, msg any) {
+	switch m := msg.(type) {
+	case invalMsg:
+		c.handleInval(m)
+	case recallMsg:
+		c.handleRecall(m)
+	case dataMsg:
+		c.handleData(m)
+	case upgradeAckMsg:
+		c.handleUpgradeAck(m)
+	case specDataMsg:
+		c.handleSpecData(m)
+	default:
+		panic(fmt.Sprintf("protocol: cache %d got unknown message %T", c.n.id, msg))
+	}
+}
+
+func (c *cache) handleInval(m invalMsg) {
+	t := c.n.sys.timing
+	l := c.lines[m.Addr]
+	c.stats.InvalsReceived++
+	specUnused := false
+	switch {
+	case l != nil && l.state == lineShared:
+		specUnused = l.spec && !l.referenced
+		c.drop(l)
+	case l != nil && l.state == lineExclusive:
+		panic(fmt.Sprintf("protocol: inval for exclusive line %v at node %d", m.Addr, c.n.id))
+	default:
+		// No valid copy: either a speculative copy we dropped, or the fill
+		// for our outstanding read is still in flight. In the latter case
+		// the data will be used once and discarded.
+		if p := c.pend[m.Addr]; p != nil && !p.isWrite {
+			p.invalOnFill = true
+		}
+	}
+	ack := ackInvMsg{Addr: m.Addr, SpecUnused: specUnused}
+	c.n.sys.kernel.After(t.CacheAccess, func() {
+		c.n.sys.route(c.n.id, m.Addr.Home(), ack)
+	})
+}
+
+func (c *cache) handleRecall(m recallMsg) {
+	// A recall that crossed our voluntary eviction writeback is already
+	// answered by that writeback (finite-cache mode).
+	if c.evictPending[m.Addr] {
+		delete(c.evictPending, m.Addr)
+		return
+	}
+	t := c.n.sys.timing
+	l := c.lines[m.Addr]
+	if l == nil || l.state != lineExclusive {
+		panic(fmt.Sprintf("protocol: recall for non-exclusive line %v at node %d", m.Addr, c.n.id))
+	}
+	c.stats.RecallsReceived++
+	wb := writebackMsg{Addr: m.Addr, Version: l.version, SWI: m.SWI, Written: l.written}
+	c.drop(l)
+	c.n.sys.kernel.After(t.CacheAccess, func() {
+		c.n.sys.route(c.n.id, m.Addr.Home(), wb)
+	})
+}
+
+func (c *cache) handleData(m dataMsg) {
+	t := c.n.sys.timing
+	p := c.pend[m.Addr]
+	if p == nil {
+		panic(fmt.Sprintf("protocol: unsolicited data for %v at node %d", m.Addr, c.n.id))
+	}
+	delete(c.pend, m.Addr)
+	l := c.line(m.Addr)
+	c.install(m.Addr, l)
+	l.version = m.Version
+	l.spec = false
+	l.referenced = false
+	l.written = p.isWrite
+	if m.Excl {
+		l.state = lineExclusive
+	} else {
+		l.state = lineShared
+	}
+	c.touch(l)
+	c.n.sys.checkObserved(c.n.id, m.Addr, m.Version)
+	if p.invalOnFill {
+		// The invalidation that raced with our fill applies now: the data
+		// satisfies the ordered-earlier access exactly once.
+		if m.Excl {
+			panic("protocol: invalOnFill set for exclusive grant")
+		}
+		c.drop(l)
+	}
+	latency := c.n.sys.kernel.Now() + t.FillOverhead - p.start
+	c.n.sys.kernel.After(t.FillOverhead, func() {
+		p.done(AccessOutcome{Class: ClassProtocol, Latency: latency})
+	})
+}
+
+func (c *cache) handleUpgradeAck(m upgradeAckMsg) {
+	t := c.n.sys.timing
+	p := c.pend[m.Addr]
+	if p == nil || !p.isWrite {
+		panic(fmt.Sprintf("protocol: unsolicited upgrade ack for %v at node %d", m.Addr, c.n.id))
+	}
+	l := c.lines[m.Addr]
+	if l == nil || l.state != lineShared {
+		panic(fmt.Sprintf("protocol: upgrade ack but line not shared for %v at node %d", m.Addr, c.n.id))
+	}
+	delete(c.pend, m.Addr)
+	l.state = lineExclusive
+	l.version = m.Version
+	l.spec = false
+	l.written = true
+	c.touch(l)
+	c.n.sys.checkObserved(c.n.id, m.Addr, m.Version)
+	latency := c.n.sys.kernel.Now() + t.FillOverhead - p.start
+	c.n.sys.kernel.After(t.FillOverhead, func() {
+		p.done(AccessOutcome{Class: ClassProtocol, Latency: latency})
+	})
+}
+
+// handleSpecData installs a speculatively forwarded read-only copy, or
+// drops it under the paper's race rule: "upon a race between a
+// speculatively-sent block and an in-flight read request for the block,
+// the DSM node receiving the block drops the speculated message."
+func (c *cache) handleSpecData(m specDataMsg) {
+	l := c.lines[m.Addr]
+	if c.pend[m.Addr] != nil || (l != nil && l.state != lineInvalid) {
+		c.stats.SpecDropped++
+		return
+	}
+	// Speculative data never displaces demand data in finite-cache mode.
+	if cap := c.n.opts.CacheCapacity; cap > 0 && c.valid >= cap {
+		c.stats.SpecDeclinedFull++
+		c.stats.SpecDropped++
+		return
+	}
+	nl := c.line(m.Addr)
+	c.install(m.Addr, nl)
+	nl.state = lineShared
+	nl.version = m.Version
+	nl.spec = true
+	nl.referenced = false
+	nl.written = false
+	c.touch(nl)
+	c.stats.SpecInstalled++
+}
+
+// sweepSpecLines reports speculative lines never referenced by the end of
+// a run (misspeculations that were not yet caught by an invalidation).
+func (c *cache) sweepSpecLines() (unreferenced uint64) {
+	for _, l := range c.lines {
+		if l.state != lineInvalid && l.spec && !l.referenced {
+			unreferenced++
+		}
+	}
+	return unreferenced
+}

@@ -1,0 +1,520 @@
+package protocol
+
+import (
+	"fmt"
+
+	"specdsm/internal/core"
+	"specdsm/internal/mem"
+	"specdsm/internal/sim"
+)
+
+type dirState uint8
+
+const (
+	dirIdle dirState = iota
+	dirShared
+	dirExclusive
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirIdle:
+		return "Idle"
+	case dirShared:
+		return "Shared"
+	case dirExclusive:
+		return "Exclusive"
+	default:
+		return "?"
+	}
+}
+
+type transKind uint8
+
+const (
+	// transReadRecall: a read found the block Exclusive; the owner's copy
+	// is being recalled (Figure 1 right).
+	transReadRecall transKind = iota
+	// transWriteRecall: a write found the block Exclusive elsewhere.
+	transWriteRecall
+	// transInval: a write/upgrade is invalidating the read-only sharers.
+	transInval
+	// transSWI: a speculative write-invalidation recall is in flight.
+	transSWI
+	// transGrant: the grant/forward data send is in progress; the entry
+	// stays busy so queued requests cannot observe a half-applied grant.
+	transGrant
+)
+
+// trans is the single in-flight transaction of a blocking directory entry.
+type trans struct {
+	kind         transKind
+	requester    mem.NodeID
+	reqKind      mem.ReqKind
+	acksLeft     int
+	grantUpgrade bool
+	// SWI premature verification: when the producer's own write follows an
+	// SWI with speculative copies outstanding, the guard is marked
+	// premature unless some consumer referenced its copy.
+	swiVerify   core.SWIGuard
+	swiVerifyOn bool
+	sawSpecRef  bool
+}
+
+type queuedReq struct {
+	kind mem.ReqKind
+	src  mem.NodeID
+}
+
+// dirEntry is the full-map directory state for one home block.
+type dirEntry struct {
+	state   dirState
+	sharers mem.ReaderVec
+	owner   mem.NodeID
+	// version counts write-permission grants; every data message carries
+	// it and the system checker asserts per-node monotonicity.
+	version uint64
+	tr      *trans
+	waitq   []queuedReq
+	// SWI watch: set when an SWI writeback completes; the next request
+	// decides whether the invalidation was premature (§4.1).
+	swiWatch bool
+	swiOwner mem.NodeID
+	swiGuard core.SWIGuard
+	// specPending maps nodes holding unverified speculative copies to the
+	// prediction that produced them.
+	specPending map[mem.NodeID]core.ReadPrediction
+	// specUpgraded marks an exclusive grant made speculatively for
+	// migratory sharing (extension).
+	specUpgraded bool
+}
+
+// directory is the home-side controller of one node.
+type directory struct {
+	n       *Node
+	entries map[mem.BlockAddr]*dirEntry
+	// free serializes directory occupancy, modeling queueing delay.
+	free  sim.Cycle
+	stats DirStats
+}
+
+func newDirectory(n *Node) *directory {
+	return &directory{
+		n:       n,
+		entries: make(map[mem.BlockAddr]*dirEntry),
+	}
+}
+
+func (d *directory) entry(addr mem.BlockAddr) *dirEntry {
+	if addr.Home() != d.n.id {
+		panic(fmt.Sprintf("protocol: block %v is not homed at node %d", addr, d.n.id))
+	}
+	e := d.entries[addr]
+	if e == nil {
+		e = &dirEntry{owner: mem.NoNode}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// deliver enqueues a directory-bound message behind the directory's
+// occupancy; messages are processed strictly in arrival order.
+func (d *directory) deliver(src mem.NodeID, msg any) {
+	k := d.n.sys.kernel
+	start := k.Now()
+	if d.free > start {
+		start = d.free
+	}
+	d.free = start + d.n.sys.timing.DirOccupancy
+	k.At(d.free, func() { d.process(src, msg) })
+}
+
+func (d *directory) process(src mem.NodeID, msg any) {
+	switch m := msg.(type) {
+	case reqMsg:
+		d.processRequest(src, m)
+	case ackInvMsg:
+		d.processAck(src, m)
+	case writebackMsg:
+		d.processWriteback(src, m)
+	case swiHintMsg:
+		// §4.1: the writer's node signals it is probably done with Addr.
+		if d.n.opts.EnableSWI {
+			d.maybeSWI(m.Addr, src)
+		}
+	default:
+		panic(fmt.Sprintf("protocol: directory %d got unknown message %T", d.n.id, msg))
+	}
+}
+
+// observe feeds one incoming message to every attached predictor.
+func (d *directory) observe(addr mem.BlockAddr, t core.MsgType, node mem.NodeID) {
+	o := core.Observation{Type: t, Node: node}
+	for _, p := range d.n.opts.Observers {
+		p.Observe(addr, o)
+	}
+	if a := d.n.opts.Active; a != nil {
+		a.Observe(addr, o)
+	}
+}
+
+func (d *directory) processRequest(src mem.NodeID, m reqMsg) {
+	switch m.Kind {
+	case mem.ReqRead:
+		d.stats.Reads++
+	case mem.ReqWrite:
+		d.stats.Writes++
+	case mem.ReqUpgrade:
+		d.stats.Upgrades++
+	}
+	d.observe(m.Addr, core.ReqMsgType(m.Kind), src)
+
+	e := d.entry(m.Addr)
+	if e.tr != nil {
+		d.stats.QueuedReqs++
+		e.waitq = append(e.waitq, queuedReq{kind: m.Kind, src: src})
+		return
+	}
+	d.serve(m.Addr, e, m.Kind, src)
+}
+
+// checkSWIWatch resolves the premature-invalidation watch on the first
+// request served after an SWI completes.
+func (d *directory) checkSWIWatch(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind, src mem.NodeID) (verify core.SWIGuard, verifyOn bool) {
+	if !e.swiWatch {
+		return core.SWIGuard{}, false
+	}
+	e.swiWatch = false
+	guard := e.swiGuard
+	e.swiGuard = core.SWIGuard{}
+	if src != e.swiOwner {
+		return core.SWIGuard{}, false // a consumer intervened: SWI succeeded
+	}
+	if kind == mem.ReqRead || len(e.specPending) == 0 {
+		// The producer wants the block back before anyone consumed it.
+		d.premature(addr, guard)
+		return core.SWIGuard{}, false
+	}
+	// The producer is writing again while speculative copies are still
+	// outstanding: defer the verdict to the invalidation acks — if no
+	// consumer referenced its copy, the SWI was premature.
+	return guard, true
+}
+
+func (d *directory) premature(addr mem.BlockAddr, guard core.SWIGuard) {
+	guard.MarkPremature()
+	d.stats.SWIPremature++
+}
+
+// serve executes one request against a non-busy entry.
+func (d *directory) serve(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind, src mem.NodeID) {
+	verify, verifyOn := d.checkSWIWatch(addr, e, kind, src)
+
+	switch kind {
+	case mem.ReqRead:
+		d.serveRead(addr, e, src)
+	case mem.ReqWrite, mem.ReqUpgrade:
+		d.serveWrite(addr, e, kind, src, verify, verifyOn)
+	default:
+		panic(fmt.Sprintf("protocol: unknown request kind %v", kind))
+	}
+}
+
+func (d *directory) serveRead(addr mem.BlockAddr, e *dirEntry, src mem.NodeID) {
+	t := d.n.sys.timing
+	switch e.state {
+	case dirIdle, dirShared:
+		phaseStart := e.state == dirIdle
+		// Speculative upgrade extension: if the predictor expects this
+		// reader to upgrade next (migratory sharing), grant exclusively.
+		if phaseStart && d.specUpgradeApplies(addr, src) {
+			d.stats.SpecUpgrades++
+			e.specUpgraded = true
+			d.grantExclusive(addr, e, src, mem.ReqWrite, false)
+			return
+		}
+		e.state = dirShared
+		e.sharers = e.sharers.With(src)
+		v := e.version
+		e.tr = &trans{kind: transGrant, requester: src}
+		d.n.sys.kernel.After(t.MemAccess, func() {
+			d.n.sys.route(d.n.id, src, dataMsg{Addr: addr, Version: v, Excl: false})
+			if phaseStart && d.n.opts.EnableFR {
+				d.specForward(addr, e, mem.VecOf(src), false)
+			}
+			d.finish(addr, e)
+		})
+	case dirExclusive:
+		if e.owner == src {
+			panic(fmt.Sprintf("protocol: owner %d re-reading %v", src, addr))
+		}
+		e.tr = &trans{kind: transReadRecall, requester: src, reqKind: mem.ReqRead}
+		d.stats.RecallsSent++
+		d.n.sys.route(d.n.id, e.owner, recallMsg{Addr: addr})
+	}
+}
+
+func (d *directory) serveWrite(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind, src mem.NodeID, verify core.SWIGuard, verifyOn bool) {
+	switch e.state {
+	case dirIdle:
+		if verifyOn {
+			// No sharers to consult: nobody consumed, so it was premature.
+			d.premature(addr, verify)
+		}
+		d.grantExclusive(addr, e, src, kind, false)
+	case dirShared:
+		others := e.sharers.Without(src)
+		// If src's sharer membership came from an unverified speculative
+		// forward, the home cannot assume src kept the copy (it may have
+		// dropped the speculated message under the race rule), so the
+		// grant must carry data rather than permission only.
+		_, specTainted := e.specPending[src]
+		if specTainted {
+			delete(e.specPending, src)
+		}
+		viaUpgrade := kind == mem.ReqUpgrade && e.sharers.Has(src) && !specTainted
+		if others.Empty() {
+			if verifyOn {
+				d.premature(addr, verify)
+			}
+			d.grantExclusive(addr, e, src, kind, viaUpgrade)
+			return
+		}
+		e.tr = &trans{
+			kind:         transInval,
+			requester:    src,
+			reqKind:      kind,
+			acksLeft:     others.Count(),
+			grantUpgrade: viaUpgrade,
+			swiVerify:    verify,
+			swiVerifyOn:  verifyOn,
+		}
+		others.ForEach(func(q mem.NodeID) {
+			d.stats.InvalsSent++
+			d.n.sys.route(d.n.id, q, invalMsg{Addr: addr})
+		})
+	case dirExclusive:
+		if e.owner == src {
+			panic(fmt.Sprintf("protocol: owner %d re-requesting write for %v", src, addr))
+		}
+		e.tr = &trans{kind: transWriteRecall, requester: src, reqKind: kind}
+		d.stats.RecallsSent++
+		d.n.sys.route(d.n.id, e.owner, recallMsg{Addr: addr})
+	}
+}
+
+// grantExclusive makes src the owner at a new version. With viaUpgradeAck
+// the requester kept its read-only copy, so only a permission message is
+// needed; otherwise data is supplied after a memory access, with the entry
+// held busy until the grant is on the wire.
+func (d *directory) grantExclusive(addr mem.BlockAddr, e *dirEntry, src mem.NodeID, kind mem.ReqKind, viaUpgradeAck bool) {
+	t := d.n.sys.timing
+	e.version++
+	e.state = dirExclusive
+	e.owner = src
+	e.sharers = 0
+	v := e.version
+	d.n.sys.noteVersion(addr, v)
+	if viaUpgradeAck {
+		d.stats.UpgradeGrants++
+		d.n.sys.route(d.n.id, src, upgradeAckMsg{Addr: addr, Version: v})
+		d.finish(addr, e)
+		return
+	}
+	e.tr = &trans{kind: transGrant, requester: src}
+	d.n.sys.kernel.After(t.MemAccess, func() {
+		d.n.sys.route(d.n.id, src, dataMsg{Addr: addr, Version: v, Excl: true})
+		d.finish(addr, e)
+	})
+}
+
+// finish clears the entry's transaction and serves queued requests until
+// one of them blocks the entry again.
+func (d *directory) finish(addr mem.BlockAddr, e *dirEntry) {
+	e.tr = nil
+	for e.tr == nil && len(e.waitq) > 0 {
+		q := e.waitq[0]
+		e.waitq = e.waitq[1:]
+		d.serve(addr, e, q.kind, q.src)
+	}
+}
+
+func (d *directory) processAck(src mem.NodeID, m ackInvMsg) {
+	d.observe(m.Addr, core.MsgAckInv, src)
+	e := d.entry(m.Addr)
+	d.stats.AcksReceived++
+
+	// Speculation verification (§4.2): the piggy-backed bit reports
+	// whether a speculatively placed copy was ever referenced.
+	if rp, ok := e.specPending[src]; ok {
+		delete(e.specPending, src)
+		if m.SpecUnused {
+			rp.Prune(src)
+			if a := d.n.opts.Active; a != nil {
+				a.RetractReader(m.Addr, src)
+			}
+			d.stats.SpecReadUnused++
+		} else if e.tr != nil {
+			e.tr.sawSpecRef = true
+		}
+	}
+
+	e.sharers = e.sharers.Without(src)
+	if e.tr == nil || e.tr.kind != transInval {
+		// Ack for a non-invalidating entry would be a protocol bug.
+		panic(fmt.Sprintf("protocol: stray ack for %v from %d", m.Addr, src))
+	}
+	e.tr.acksLeft--
+	if e.tr.acksLeft > 0 {
+		return
+	}
+	tr := e.tr
+	if tr.swiVerifyOn && !tr.sawSpecRef {
+		d.premature(m.Addr, tr.swiVerify)
+	}
+	d.grantExclusive(m.Addr, e, tr.requester, tr.reqKind, tr.grantUpgrade)
+}
+
+func (d *directory) processWriteback(src mem.NodeID, m writebackMsg) {
+	d.observe(m.Addr, core.MsgWriteback, src)
+	e := d.entry(m.Addr)
+	d.stats.Writebacks++
+	if e.tr == nil {
+		// Only a capacity eviction may write back unsolicited; it retires
+		// the ownership in place. (If a recall is outstanding, the
+		// voluntary writeback instead falls through and serves as that
+		// recall's response — the crossing recall is ignored at the
+		// cache.)
+		if !m.Voluntary {
+			panic(fmt.Sprintf("protocol: unsolicited writeback for %v from %d", m.Addr, src))
+		}
+		if e.state != dirExclusive || e.owner != src {
+			panic(fmt.Sprintf("protocol: voluntary writeback for %v from %d but directory says %v owner %d",
+				m.Addr, src, e.state, e.owner))
+		}
+		if m.Version != e.version {
+			panic(fmt.Sprintf("protocol: voluntary writeback version %d != directory %d for %v",
+				m.Version, e.version, m.Addr))
+		}
+		if e.specUpgraded {
+			if !m.Written {
+				d.stats.SpecUpgradeMisfires++
+			}
+			e.specUpgraded = false
+		}
+		e.state = dirIdle
+		e.owner = mem.NoNode
+		e.sharers = 0
+		return
+	}
+	if e.owner != src {
+		panic(fmt.Sprintf("protocol: writeback for %v from non-owner %d", m.Addr, src))
+	}
+	if m.Version != e.version {
+		panic(fmt.Sprintf("protocol: writeback version %d != directory %d for %v", m.Version, e.version, m.Addr))
+	}
+	if e.specUpgraded {
+		if !m.Written {
+			d.stats.SpecUpgradeMisfires++
+		}
+		e.specUpgraded = false
+	}
+	e.owner = mem.NoNode
+	t := d.n.sys.timing
+
+	switch e.tr.kind {
+	case transReadRecall:
+		req := e.tr.requester
+		e.state = dirIdle
+		e.sharers = 0
+		// Migratory sharing arrives through this recall path: if the
+		// predictor expects the reader to upgrade next, grant exclusively
+		// (speculative upgrade extension).
+		if d.specUpgradeApplies(m.Addr, req) {
+			d.stats.SpecUpgrades++
+			e.specUpgraded = true
+			d.grantExclusive(m.Addr, e, req, mem.ReqWrite, false)
+			return
+		}
+		e.state = dirShared
+		e.sharers = mem.VecOf(req)
+		v := e.version
+		e.tr = &trans{kind: transGrant, requester: req}
+		d.n.sys.kernel.After(t.MemAccess, func() {
+			d.n.sys.route(d.n.id, req, dataMsg{Addr: m.Addr, Version: v, Excl: false})
+			if d.n.opts.EnableFR {
+				d.specForward(m.Addr, e, mem.VecOf(req), false)
+			}
+			d.finish(m.Addr, e)
+		})
+	case transWriteRecall:
+		tr := e.tr
+		e.state = dirIdle
+		e.sharers = 0
+		d.grantExclusive(m.Addr, e, tr.requester, tr.reqKind, false)
+	case transSWI:
+		e.state = dirIdle
+		e.sharers = 0
+		e.swiWatch = true
+		e.swiOwner = src
+		e.tr = &trans{kind: transGrant}
+		d.n.sys.kernel.After(t.MemAccess, func() {
+			d.specForward(m.Addr, e, 0, true)
+			d.finish(m.Addr, e)
+		})
+	default:
+		panic(fmt.Sprintf("protocol: writeback during %v transaction for %v", e.tr.kind, m.Addr))
+	}
+}
+
+// tryLocalFastPath serves a local access that needs no coherence activity,
+// mutating directory state directly (the access is ordered at call time).
+// Returns the observed/granted version.
+func (d *directory) tryLocalFastPath(addr mem.BlockAddr, isWrite bool) (uint64, bool) {
+	e := d.entry(addr)
+	if e.tr != nil || len(e.waitq) > 0 {
+		return 0, false
+	}
+	self := d.n.id
+	if !isWrite {
+		if e.state == dirIdle || e.state == dirShared {
+			d.resolveLocalSWIWatch(addr, e, mem.ReqRead)
+			e.state = dirShared
+			e.sharers = e.sharers.With(self)
+			return e.version, true
+		}
+		// state Exclusive: even owner==self is possible in finite-cache
+		// mode (the line was evicted and its voluntary writeback is still
+		// in flight); take the slow path, which queues behind it.
+		return 0, false
+	}
+	soleLocal := e.state == dirIdle ||
+		(e.state == dirShared && e.sharers.Without(self).Empty())
+	if !soleLocal {
+		return 0, false
+	}
+	d.resolveLocalSWIWatch(addr, e, mem.ReqWrite)
+	e.version++
+	e.state = dirExclusive
+	e.owner = self
+	e.sharers = 0
+	d.n.sys.noteVersion(addr, e.version)
+	return e.version, true
+}
+
+// resolveLocalSWIWatch applies the premature-invalidation watch to local
+// fast-path accesses: the home node's processor is itself the producer in
+// many sharing patterns, and its silent local re-access after an SWI is
+// exactly the "producer was not done" signal.
+func (d *directory) resolveLocalSWIWatch(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind) {
+	if !e.swiWatch {
+		return
+	}
+	e.swiWatch = false
+	guard := e.swiGuard
+	e.swiGuard = core.SWIGuard{}
+	if d.n.id == e.swiOwner {
+		d.premature(addr, guard)
+	}
+	_ = kind
+}

@@ -1,0 +1,82 @@
+package protocol
+
+import "specdsm/internal/mem"
+
+// The coherence message set. Requests travel requester→home; Inval/Recall
+// travel home→cache; acks and writebacks travel cache→home; data grants
+// travel home→requester. All messages for a (src,dst) pair are delivered
+// FIFO by the network model.
+
+// reqMsg is a memory request message: Read, Write, or Upgrade (§2).
+type reqMsg struct {
+	Kind mem.ReqKind
+	Addr mem.BlockAddr
+}
+
+// invalMsg invalidates a read-only copy; the cache answers with ackInvMsg.
+type invalMsg struct {
+	Addr mem.BlockAddr
+}
+
+// recallMsg invalidates a writable copy and requests a writeback. SWI
+// marks speculative (early) recalls so stats distinguish them; protocol
+// handling is identical — that is the point of the design (§4.2).
+type recallMsg struct {
+	Addr mem.BlockAddr
+	SWI  bool
+}
+
+// ackInvMsg acknowledges an invalidation. SpecUnused piggy-backs the
+// verification bit: the invalidated line had been placed speculatively and
+// was never referenced (§4.2).
+type ackInvMsg struct {
+	Addr       mem.BlockAddr
+	SpecUnused bool
+}
+
+// writebackMsg returns a dirty writable copy to the home. Written reports
+// whether the owner actually stored to the line since it was granted; the
+// speculative-upgrade extension uses it to verify exclusive grants.
+// Voluntary marks a capacity-eviction writeback (finite-cache mode): sent
+// without a recall, it may cross a recall in flight, in which case it
+// doubles as that recall's response.
+type writebackMsg struct {
+	Addr      mem.BlockAddr
+	Version   uint64
+	SWI       bool
+	Written   bool
+	Voluntary bool
+}
+
+// dataMsg grants a copy to a requester. Excl grants ownership.
+type dataMsg struct {
+	Addr    mem.BlockAddr
+	Version uint64
+	Excl    bool
+}
+
+// upgradeAckMsg grants write permission to a requester that retained its
+// read-only copy throughout the invalidation of the other sharers.
+type upgradeAckMsg struct {
+	Addr    mem.BlockAddr
+	Version uint64
+}
+
+// specDataMsg is a speculatively forwarded read-only copy. A receiver with
+// a valid copy or an outstanding request for the block drops it (§4.2's
+// race rule), so the base protocol is never perturbed.
+type specDataMsg struct {
+	Addr    mem.BlockAddr
+	Version uint64
+}
+
+// swiHintMsg tells the home of Addr that the sender's processor has moved
+// on to writing a different block — the §4.1 early-write-invalidate
+// signal. The requester-side DSM hardware maintains the per-processor
+// last-write table (it observes all of its processor's write requests,
+// regardless of home) and notifies the previous block's home off the
+// critical path. A hint is purely advisory; the home revalidates that the
+// block is still exclusively owned by the sender before recalling it.
+type swiHintMsg struct {
+	Addr mem.BlockAddr
+}

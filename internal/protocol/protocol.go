@@ -1,0 +1,186 @@
+// Package protocol implements the full-map write-invalidate coherence
+// protocol of the simulated CC-NUMA (paper §2), together with the
+// speculation mechanisms of the speculative coherent DSM (§4).
+//
+// Every node hosts three cooperating controllers:
+//
+//   - a cache controller holding the processor's view of memory (a merged
+//     model of the processor data cache and the node's remote cache — the
+//     paper assumes a remote cache large enough to hold all remote data, so
+//     only cold and coherence misses exist);
+//   - a directory controlling the node's home blocks: per-block state
+//     (Idle/Shared/Exclusive), a full-map sharer vector, an owner, and a
+//     FIFO queue of requests that arrive while a transaction is in flight
+//     (the blocking directory is one of the two race sources that perturb
+//     message predictors; network-interface queueing is the other);
+//   - optionally, a predictor (internal/core) observing the directory's
+//     incoming message stream and driving read speculation via the
+//     First-Read (FR) and Speculative Write-Invalidation (SWI) triggers.
+//
+// The speculation machinery never modifies base protocol transitions: it
+// only schedules existing operations early (an early recall, an early
+// read-only forward). Speculative data that races with a real request is
+// dropped at the receiver, exactly as the paper specifies, so a failed
+// speculation degrades to the base protocol.
+package protocol
+
+import (
+	"specdsm/internal/core"
+	"specdsm/internal/sim"
+)
+
+// Timing collects the latency parameters of the node model, in processor
+// cycles. DefaultTiming is calibrated to Table 1 of the paper.
+type Timing struct {
+	// HitLatency is a processor cache hit.
+	HitLatency sim.Cycle
+	// LocalMem is a local memory (or remote-cache) access that needs no
+	// coherence activity: Table 1's 104 cycles.
+	LocalMem sim.Cycle
+	// BusOverhead is miss detection plus bus acquisition before a request
+	// leaves the node.
+	BusOverhead sim.Cycle
+	// FillOverhead is the bus transfer and cache fill when a response
+	// arrives.
+	FillOverhead sim.Cycle
+	// DirOccupancy is the directory's per-message processing time; the
+	// directory is a serialized resource.
+	DirOccupancy sim.Cycle
+	// MemAccess is the memory read/write at the home node when supplying
+	// or accepting block data.
+	MemAccess sim.Cycle
+	// CacheAccess is the remote-cache probe when servicing an external
+	// invalidation or recall.
+	CacheAccess sim.Cycle
+	// LocalHop is the node-internal hop between the processor side and the
+	// node's own directory (requests to one's own home skip the network).
+	LocalHop sim.Cycle
+}
+
+// DefaultTiming reproduces Table 1: a clean two-hop remote read totals
+// 25 + (20+80+20) + 24 + 104 + (20+80+20) + 25 = 418 cycles, local access
+// is 104 cycles, and the remote-to-local ratio is ~4.
+func DefaultTiming() Timing {
+	return Timing{
+		HitLatency:   1,
+		LocalMem:     104,
+		BusOverhead:  25,
+		FillOverhead: 25,
+		DirOccupancy: 24,
+		MemAccess:    104,
+		CacheAccess:  12,
+		LocalHop:     12,
+	}
+}
+
+// Options configures a node's predictor attachment and speculation.
+type Options struct {
+	// Observers are passive predictors fed every message arriving at this
+	// node's directory. They never influence protocol behaviour; they are
+	// how Figures 7-8 and Tables 3-4 measure Cosmos/MSP/VMSP on identical
+	// message streams.
+	Observers []core.Predictor
+	// Active is the predictor consulted for speculation (the paper's
+	// speculative DSMs use a VMSP with history depth one). It also
+	// observes all messages. Nil disables speculation entirely.
+	Active core.Predictor
+	// EnableFR turns on First-Read triggering of read-sequence speculation.
+	EnableFR bool
+	// EnableSWI turns on Speculative Write-Invalidation. The paper's
+	// SWI-DSM runs SWI and FR together; EnableSWI without EnableFR is
+	// permitted for ablation.
+	EnableSWI bool
+	// EnableSpecUpgrade enables the migratory-sharing extension sketched
+	// in §4.1 (future work in the paper): when the predictor's next symbol
+	// after a read by P is an upgrade by P, the directory grants the read
+	// exclusively, eliminating the upgrade round trip.
+	EnableSpecUpgrade bool
+	// CacheCapacity bounds the node's valid cache lines (0 = unbounded,
+	// the paper's §6 assumption of a remote cache large enough for all
+	// remote data). With a bound, fills evict the least-recently-used
+	// line: shared victims drop silently, exclusive victims write back
+	// voluntarily; speculative forwards never displace demand data.
+	CacheCapacity int
+}
+
+// AccessClass labels how a processor access was satisfied, for the
+// execution-time breakdown of Figure 9.
+type AccessClass uint8
+
+const (
+	// ClassHit is a processor cache hit.
+	ClassHit AccessClass = iota
+	// ClassSpecHit is a hit on a speculatively forwarded block — a remote
+	// access converted into a local one. First reference clears the
+	// verification bit.
+	ClassSpecHit
+	// ClassLocal is a local memory access with no coherence activity.
+	ClassLocal
+	// ClassProtocol is an access that required a coherence transaction
+	// (remote request waiting time in Figure 9's breakdown).
+	ClassProtocol
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case ClassHit:
+		return "hit"
+	case ClassSpecHit:
+		return "spec-hit"
+	case ClassLocal:
+		return "local"
+	case ClassProtocol:
+		return "protocol"
+	default:
+		return "?"
+	}
+}
+
+// AccessOutcome reports the completion of one processor access.
+type AccessOutcome struct {
+	Class   AccessClass
+	Latency sim.Cycle
+}
+
+// CacheStats counts processor-side events at one node.
+type CacheStats struct {
+	Hits            uint64
+	SpecHits        uint64
+	LocalAccesses   uint64
+	ProtocolReads   uint64
+	ProtocolWrites  uint64
+	InvalsReceived  uint64
+	RecallsReceived uint64
+	SpecInstalled   uint64
+	SpecDropped     uint64
+	SpecReferenced  uint64
+	// Finite-cache mode.
+	Evictions          uint64
+	EvictionWritebacks uint64
+	SpecDeclinedFull   uint64
+}
+
+// DirStats counts directory-side events at one node (its home blocks).
+type DirStats struct {
+	// Request messages processed, by kind.
+	Reads    uint64
+	Writes   uint64
+	Upgrades uint64
+	// Protocol actions.
+	InvalsSent    uint64
+	RecallsSent   uint64
+	AcksReceived  uint64
+	Writebacks    uint64
+	QueuedReqs    uint64
+	UpgradeGrants uint64
+	// Speculation (reads forwarded speculatively, by trigger).
+	SpecReadsFR    uint64
+	SpecReadsSWI   uint64
+	SpecReadUnused uint64 // verified misspeculations (never referenced)
+	// SWI.
+	SWIRecalls   uint64
+	SWIPremature uint64
+	// Extension: speculative exclusive grants for migratory sharing.
+	SpecUpgrades        uint64
+	SpecUpgradeMisfires uint64
+}

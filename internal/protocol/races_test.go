@@ -1,0 +1,130 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"specdsm/internal/core"
+	"specdsm/internal/mem"
+)
+
+// Regression for a race found by the coherence checker: a speculative
+// forward adds the target to the sharer vector, but the target may have
+// dropped the copy (it had its own request in flight). A later upgrade
+// from that node must then be granted with data, not permission-only.
+//
+// Construction: node 3 holds a shared copy and upgrades; a competing
+// write invalidates node 3's line while the upgrade is in flight; node
+// 3's ack removes it from the sharers; an FR forward then re-adds node 3
+// speculatively, but node 3 drops it (pending upgrade). When the queued
+// upgrade is finally served, the directory sees node 3 as a (speculative)
+// sharer whose copy it cannot trust.
+func TestSpecTaintedUpgradeGetsData(t *testing.T) {
+	h := specHarness(t, true, false)
+	addr := mem.MakeAddr(0, 0)
+
+	// Train the predictor: write by 1, reads by {2,3}.
+	producerConsumerRound(h, addr)
+	producerConsumerRound(h, addr)
+
+	// Node 3 reads (sharer), then node 1 writes while node 3
+	// simultaneously upgrades: the write invalidates 3 mid-flight.
+	h.read(3, addr)
+	done := 0
+	h.sys.Node(1).Access(true, addr, func(AccessOutcome) { done++ })
+	h.sys.Node(3).Access(true, addr, func(AccessOutcome) { done++ })
+	h.k.Run(0)
+	if done != 2 {
+		t.Fatalf("completed %d accesses", done)
+	}
+	// Node 2 reads, triggering an FR forward whose predicted set includes
+	// node 3; races like the above may leave 3's membership spec-tainted.
+	h.read(2, addr)
+	h.write(3, addr)
+	h.finish()
+}
+
+// Randomized mixed-sharing stress across modes and seeds: consumers that
+// also write, plus SWI, exercise the spec-forward/upgrade interleavings.
+func TestRandomReadWriteSharerStress(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		for _, swi := range []bool{false, true} {
+			h := specHarness(t, true, swi)
+			rng := rand.New(rand.NewSource(seed))
+			blocks := []mem.BlockAddr{
+				mem.MakeAddr(0, 0), mem.MakeAddr(0, 1), mem.MakeAddr(1, 0), mem.MakeAddr(2, 5),
+			}
+			for round := 0; round < 40; round++ {
+				pending := 0
+				for n := mem.NodeID(0); n < 4; n++ {
+					addr := blocks[rng.Intn(len(blocks))]
+					// Read-mostly with frequent upgrades: maximizes
+					// sharer/spec interleavings.
+					isWrite := rng.Intn(4) == 0
+					pending++
+					h.sys.Node(n).Access(isWrite, addr, func(AccessOutcome) { pending-- })
+				}
+				h.k.Run(0)
+				if pending != 0 {
+					t.Fatalf("seed %d round %d: %d incomplete", seed, round, pending)
+				}
+			}
+			h.finish()
+		}
+	}
+}
+
+// The SWI hint path must be harmless when the hinted block has moved on:
+// not exclusive, wrong owner, busy, or queued.
+func TestSWIHintRevalidation(t *testing.T) {
+	h := specHarness(t, true, true)
+	a := mem.MakeAddr(0, 0)
+	b := mem.MakeAddr(0, 1)
+
+	// Train a reader for a so SWI has a prediction to trigger.
+	h.write(1, a)
+	h.read(2, a)
+	h.write(1, a)
+	h.read(2, a)
+
+	// Now node 2 takes a exclusively; node 1's write to b still emits a
+	// hint naming a, but the ownership check must reject it.
+	h.write(2, a)
+	before := h.sys.Node(0).DirStats().SWIRecalls
+	h.write(1, b)
+	h.k.Run(0)
+	after := h.sys.Node(0).DirStats().SWIRecalls
+	if after != before {
+		t.Fatalf("SWI fired on a block owned by another node")
+	}
+	h.finish()
+}
+
+// Confidence-gated active predictors plug into the protocol unchanged.
+func TestActivePredictorWithConfidence(t *testing.T) {
+	opts := make([]Options, 4)
+	for i := range opts {
+		p := core.NewVMSP(1)
+		p.SetConfidenceThreshold(2)
+		opts[i] = Options{Active: p, EnableFR: true, EnableSWI: true}
+	}
+	h := newHarness(t, 4, opts...)
+	addr := mem.MakeAddr(0, 0)
+	// Below-threshold: no forwards yet after a single round.
+	producerConsumerRound(h, addr)
+	producerConsumerRound(h, addr)
+	early := h.sys.Node(0).DirStats().SpecReadsFR + h.sys.Node(0).DirStats().SpecReadsSWI
+	if early != 0 {
+		t.Fatalf("speculation fired before confidence built: %d", early)
+	}
+	// After enough stable rounds the gate opens.
+	for i := 0; i < 4; i++ {
+		producerConsumerRound(h, addr)
+	}
+	st := h.sys.Node(0).DirStats()
+	if st.SpecReadsFR+st.SpecReadsSWI == 0 {
+		t.Fatal("speculation never passed the confidence gate")
+	}
+	h.finish()
+}

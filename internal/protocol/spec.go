@@ -1,0 +1,97 @@
+package protocol
+
+import (
+	"specdsm/internal/core"
+	"specdsm/internal/mem"
+)
+
+// This file implements the speculation triggers of §4: Speculative
+// Write-Invalidation (SWI) and the speculative read forwarding shared by
+// SWI and First-Read (FR) triggering. The mechanisms only schedule
+// existing protocol operations early; they never add protocol states.
+
+// maybeSWI considers speculatively invalidating block addr, which the
+// early-write-invalidate table says writer is probably done with. Fires
+// only if the block is exclusively owned by that writer, the entry is
+// quiescent, and the write pattern's premature bit is clear.
+func (d *directory) maybeSWI(addr mem.BlockAddr, writer mem.NodeID) {
+	act := d.n.opts.Active
+	if act == nil {
+		return
+	}
+	e := d.entry(addr)
+	if e.state != dirExclusive || e.owner != writer {
+		return
+	}
+	if e.tr != nil || len(e.waitq) > 0 {
+		return
+	}
+	guard := act.SWIGuard(addr)
+	if !guard.Allowed() {
+		return
+	}
+	// SWI exists to trigger a predicted read sequence (§4.1); without a
+	// learned read prediction there is nothing to trigger and the recall
+	// would only risk a premature invalidation.
+	if _, ok := act.PredictReaders(addr); !ok {
+		return
+	}
+	e.swiGuard = guard
+	e.tr = &trans{kind: transSWI, requester: writer}
+	d.stats.SWIRecalls++
+	d.stats.RecallsSent++
+	d.n.sys.route(d.n.id, writer, recallMsg{Addr: addr, SWI: true})
+}
+
+// specForward sends speculative read-only copies of addr to the readers
+// the active predictor expects next, excluding the given nodes and anyone
+// already sharing. Each forwarded copy is tracked for verification, and
+// the predictor's history advances as if the reads had arrived (§4.2).
+func (d *directory) specForward(addr mem.BlockAddr, e *dirEntry, exclude mem.ReaderVec, viaSWI bool) {
+	act := d.n.opts.Active
+	if act == nil {
+		return
+	}
+	rp, ok := act.PredictReaders(addr)
+	if !ok {
+		return
+	}
+	targets := rp.Readers &^ exclude &^ e.sharers
+	if targets.Empty() {
+		return
+	}
+	if e.state == dirExclusive {
+		return
+	}
+	v := e.version
+	if e.specPending == nil {
+		e.specPending = make(map[mem.NodeID]core.ReadPrediction)
+	}
+	targets.ForEach(func(q mem.NodeID) {
+		e.sharers = e.sharers.With(q)
+		e.specPending[q] = rp
+		if viaSWI {
+			d.stats.SpecReadsSWI++
+		} else {
+			d.stats.SpecReadsFR++
+		}
+		d.n.sys.route(d.n.id, q, specDataMsg{Addr: addr, Version: v})
+	})
+	e.state = dirShared
+	act.AssumeReaders(addr, targets)
+}
+
+// specUpgradeApplies implements the migratory-sharing extension (§4.1
+// future work, gated by Options.EnableSpecUpgrade): when the predictor
+// expects the arriving reader to upgrade next, the read is granted
+// exclusively, folding the read+upgrade pair into one transaction.
+func (d *directory) specUpgradeApplies(addr mem.BlockAddr, reader mem.NodeID) bool {
+	if !d.n.opts.EnableSpecUpgrade {
+		return false
+	}
+	act := d.n.opts.Active
+	if act == nil {
+		return false
+	}
+	return act.PredictsUpgradeBy(addr, reader)
+}

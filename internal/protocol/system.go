@@ -1,0 +1,273 @@
+package protocol
+
+import (
+	"fmt"
+
+	"specdsm/internal/core"
+	"specdsm/internal/mem"
+	"specdsm/internal/network"
+	"specdsm/internal/sim"
+)
+
+// Node is one DSM node: a processor-side cache controller plus the
+// directory for the node's home blocks, plus (optionally) a predictor.
+// The node also hosts the requester-side early-write-invalidate table
+// (§4.1): it records the processor's most recent write request and emits
+// SWI hints to the previous block's home.
+type Node struct {
+	id    mem.NodeID
+	sys   *System
+	cache *cache
+	dir   *directory
+	ewi   *core.EWITable
+	opts  Options
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() mem.NodeID { return n.id }
+
+// AddObserver attaches one more passive predictor to this node's
+// directory. Must be called before simulation starts.
+func (n *Node) AddObserver(p core.Predictor) {
+	n.opts.Observers = append(n.opts.Observers, p)
+}
+
+// Access issues a processor load or store. done fires at completion.
+func (n *Node) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome)) {
+	n.cache.Access(isWrite, addr, done)
+}
+
+// CacheStats returns the node's processor-side counters.
+func (n *Node) CacheStats() CacheStats { return n.cache.stats }
+
+// DirStats returns the node's home-side counters.
+func (n *Node) DirStats() DirStats { return n.dir.stats }
+
+// SweepUnreferencedSpec counts speculative lines never referenced by the
+// end of a run (misspeculations not yet caught by an invalidation).
+func (n *Node) SweepUnreferencedSpec() uint64 { return n.cache.sweepSpecLines() }
+
+// deliver dispatches a message arriving at this node, to the directory
+// (home-bound traffic) or the cache (copy-holder-bound traffic).
+func (n *Node) deliver(src mem.NodeID, msg any) {
+	switch msg.(type) {
+	case reqMsg, ackInvMsg, writebackMsg, swiHintMsg:
+		n.dir.deliver(src, msg)
+	case invalMsg, recallMsg, dataMsg, upgradeAckMsg, specDataMsg:
+		n.cache.deliver(src, msg)
+	default:
+		panic(fmt.Sprintf("protocol: node %d got unknown message %T", n.id, msg))
+	}
+}
+
+// System assembles the nodes, network, and coherence checker.
+type System struct {
+	kernel *sim.Kernel
+	net    *network.Network
+	timing Timing
+	nodes  []*Node
+
+	// Coherence checking (simulator-level omniscience, assertions only).
+	checkEnabled bool
+	latest       map[mem.BlockAddr]uint64
+	observed     map[obsKey]uint64
+	violations   []string
+}
+
+type obsKey struct {
+	node mem.NodeID
+	addr mem.BlockAddr
+}
+
+// NewSystem builds an n-node DSM on the given kernel. opts[i] configures
+// node i; a single-element opts slice applies to every node.
+func NewSystem(k *sim.Kernel, n int, timing Timing, netCfg network.Config, opts []Options) *System {
+	if n <= 0 || n > mem.MaxNodes {
+		panic(fmt.Sprintf("protocol: invalid node count %d", n))
+	}
+	s := &System{
+		kernel:       k,
+		net:          network.New(k, n, netCfg),
+		timing:       timing,
+		checkEnabled: true,
+		latest:       make(map[mem.BlockAddr]uint64),
+		observed:     make(map[obsKey]uint64),
+	}
+	for i := 0; i < n; i++ {
+		var o Options
+		switch {
+		case len(opts) == 1:
+			o = opts[0]
+		case len(opts) == n:
+			o = opts[i]
+		case len(opts) == 0:
+			// zero Options: plain Base-DSM node
+		default:
+			panic("protocol: opts must have length 0, 1, or n")
+		}
+		node := &Node{id: mem.NodeID(i), sys: s, opts: o, ewi: core.NewEWITable()}
+		node.cache = newCache(node)
+		node.dir = newDirectory(node)
+		s.nodes = append(s.nodes, node)
+		id := mem.NodeID(i)
+		s.net.SetHandler(id, func(src mem.NodeID, payload any) {
+			s.nodes[id].deliver(src, payload)
+		})
+	}
+	return s
+}
+
+// Node returns node id.
+func (s *System) Node(id mem.NodeID) *Node { return s.nodes[id] }
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return len(s.nodes) }
+
+// Kernel returns the simulation kernel the system runs on.
+func (s *System) Kernel() *sim.Kernel { return s.kernel }
+
+// Timing returns the latency configuration.
+func (s *System) Timing() Timing { return s.timing }
+
+// NetworkStats returns interconnect counters.
+func (s *System) NetworkStats() network.Stats { return s.net.Stats() }
+
+// SetCoherenceChecking toggles the version checker (on by default).
+func (s *System) SetCoherenceChecking(on bool) { s.checkEnabled = on }
+
+// route delivers a message from src to dst: node-internal traffic takes
+// the local hop, everything else crosses the network.
+func (s *System) route(src, dst mem.NodeID, msg any) {
+	if src == dst {
+		s.kernel.After(s.timing.LocalHop, func() {
+			s.nodes[dst].deliver(src, msg)
+		})
+		return
+	}
+	s.net.Send(src, dst, msg)
+}
+
+// noteVersion records a write-permission grant for coherence checking.
+func (s *System) noteVersion(addr mem.BlockAddr, v uint64) {
+	if !s.checkEnabled {
+		return
+	}
+	if prev := s.latest[addr]; v != prev+1 {
+		s.violations = append(s.violations,
+			fmt.Sprintf("version grant %d follows %d for %v", v, prev, addr))
+	}
+	s.latest[addr] = v
+}
+
+// checkObserved asserts per-node version monotonicity: a processor must
+// never observe an older version of a block than it has already seen.
+func (s *System) checkObserved(node mem.NodeID, addr mem.BlockAddr, v uint64) {
+	if !s.checkEnabled {
+		return
+	}
+	k := obsKey{node, addr}
+	if prev, ok := s.observed[k]; ok && v < prev {
+		s.violations = append(s.violations,
+			fmt.Sprintf("node %d observed version %d after %d for %v", node, v, prev, addr))
+	}
+	s.observed[k] = v
+}
+
+// Violations returns all coherence-checker findings (empty on a correct
+// run). Tests fail on any entry.
+func (s *System) Violations() []string { return s.violations }
+
+// CheckQuiescent verifies that no directory entry has an in-flight
+// transaction or queued requests; call after the workload drains.
+func (s *System) CheckQuiescent() error {
+	for _, n := range s.nodes {
+		for addr, e := range n.dir.entries {
+			if e.tr != nil {
+				return fmt.Errorf("protocol: entry %v still has transaction at node %d", addr, n.id)
+			}
+			if len(e.waitq) != 0 {
+				return fmt.Errorf("protocol: entry %v has %d queued requests at node %d", addr, len(e.waitq), n.id)
+			}
+		}
+		if len(n.cache.pend) != 0 {
+			return fmt.Errorf("protocol: node %d has %d pending accesses", n.id, len(n.cache.pend))
+		}
+	}
+	return nil
+}
+
+// AuditConsistency cross-checks every valid cache line against directory
+// state. The directory's sharer vector may over-approximate (a node can
+// drop a speculative copy the home still lists), but the reverse must be
+// exact: any valid line must be backed by matching directory state and
+// the current version. Call on a quiescent system.
+func (s *System) AuditConsistency() error {
+	for _, n := range s.nodes {
+		for addr, l := range n.cache.lines {
+			if l.state == lineInvalid {
+				continue
+			}
+			home := s.nodes[addr.Home()]
+			e := home.dir.entries[addr]
+			if e == nil {
+				return fmt.Errorf("protocol: node %d holds %v with no directory entry", n.id, addr)
+			}
+			switch l.state {
+			case lineExclusive:
+				if e.state != dirExclusive || e.owner != n.id {
+					return fmt.Errorf("protocol: node %d holds %v exclusive but directory says %v owner %d",
+						n.id, addr, e.state, e.owner)
+				}
+			case lineShared:
+				if e.state != dirShared || !e.sharers.Has(n.id) {
+					return fmt.Errorf("protocol: node %d holds %v shared but directory says %v sharers %v",
+						n.id, addr, e.state, e.sharers)
+				}
+			}
+			if l.version != e.version {
+				return fmt.Errorf("protocol: node %d holds %v at version %d, directory at %d",
+					n.id, addr, l.version, e.version)
+			}
+		}
+		// Exclusive directory entries must be backed by a real owner line.
+		for addr, e := range n.dir.entries {
+			if e.state != dirExclusive {
+				continue
+			}
+			owner := s.nodes[e.owner]
+			l := owner.cache.lines[addr]
+			if l == nil || l.state != lineExclusive {
+				return fmt.Errorf("protocol: directory says %d owns %v but its line is absent/invalid",
+					e.owner, addr)
+			}
+		}
+	}
+	return nil
+}
+
+// DirEntryView is a read-only snapshot of directory state for tests.
+type DirEntryView struct {
+	State    string
+	Sharers  mem.ReaderVec
+	Owner    mem.NodeID
+	Version  uint64
+	Busy     bool
+	QueueLen int
+}
+
+// InspectEntry exposes directory state for tests and debugging.
+func (s *System) InspectEntry(addr mem.BlockAddr) DirEntryView {
+	d := s.nodes[addr.Home()].dir
+	e := d.entries[addr]
+	if e == nil {
+		return DirEntryView{State: dirIdle.String(), Owner: mem.NoNode}
+	}
+	return DirEntryView{
+		State:    e.state.String(),
+		Sharers:  e.sharers,
+		Owner:    e.owner,
+		Version:  e.version,
+		Busy:     e.tr != nil,
+		QueueLen: len(e.waitq),
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim provides the discrete-event simulation kernel underneath the
+// DSM machine model: a cycle-granular clock and an event queue with
+// deterministic ordering.
+//
+// Components schedule closures to run at absolute or relative cycle times;
+// the kernel runs them in (time, insertion) order so that simulations are
+// bit-reproducible for a given seed and workload.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in processor clock cycles.
+type Cycle int64
+
+// Event is a scheduled action.
+type event struct {
+	at  Cycle
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event-driven simulation core. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now     Cycle
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// executed counts dispatched events, for statistics and runaway guards.
+	executed uint64
+}
+
+// NewKernel returns a kernel with the clock at cycle 0.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.queue)
+	return k
+}
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() Cycle { return k.now }
+
+// Executed returns the number of events dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute cycle at. Scheduling in the past
+// panics: it always indicates a model bug.
+func (k *Kernel) At(at Cycle, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (k *Kernel) After(delay Cycle, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	k.At(k.now+delay, fn)
+}
+
+// Stop makes Run return after the currently dispatching event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events in order until the queue drains, Stop is called,
+// or maxEvents events have executed (0 means no limit). It returns the
+// number of events executed by this call.
+func (k *Kernel) Run(maxEvents uint64) uint64 {
+	k.stopped = false
+	var n uint64
+	for len(k.queue) > 0 && !k.stopped {
+		if maxEvents != 0 && n >= maxEvents {
+			break
+		}
+		e := heap.Pop(&k.queue).(*event)
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		k.executed++
+		n++
+		e.fn()
+	}
+	return n
+}
+
+// RunUntil dispatches events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. Returns the number executed.
+func (k *Kernel) RunUntil(deadline Cycle) uint64 {
+	k.stopped = false
+	var n uint64
+	for len(k.queue) > 0 && !k.stopped {
+		if k.queue[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&k.queue).(*event)
+		k.now = e.at
+		k.executed++
+		n++
+		e.fn()
+	}
+	if k.now < deadline && !k.stopped {
+		k.now = deadline
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+// Package trace captures the coherence message streams observed at the
+// DSM directories and replays them into predictors offline.
+//
+// The paper's predictor evaluation (§7.1–7.3) is a function of the
+// per-block message streams alone; capturing them once and replaying them
+// makes predictor studies cheap (no re-simulation) and lets external
+// traces be evaluated with the same machinery. A Recorder attaches to a
+// running machine exactly like a passive predictor, so the captured
+// stream is — by construction — identical to what an online predictor
+// would have observed.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"specdsm/internal/core"
+	"specdsm/internal/mem"
+	"specdsm/internal/sim"
+)
+
+// Event is one directory-incoming coherence message.
+type Event struct {
+	// Cycle is the directory processing time.
+	Cycle int64 `json:"c"`
+	// Addr encodes the block (home node in the top byte).
+	Addr uint64 `json:"a"`
+	// Type is the message type (core.MsgType numeric value).
+	Type uint8 `json:"t"`
+	// Node is the message source.
+	Node uint8 `json:"n"`
+}
+
+// Trace is a captured run.
+type Trace struct {
+	Workload string  `json:"workload"`
+	Nodes    int     `json:"nodes"`
+	Seed     int64   `json:"seed"`
+	Events   []Event `json:"events"`
+}
+
+// Blocks returns the number of distinct blocks in the trace.
+func (t *Trace) Blocks() int {
+	seen := make(map[uint64]struct{})
+	for _, e := range t.Events {
+		seen[e.Addr] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Clock provides the current simulation time (implemented by sim.Kernel).
+type Clock interface {
+	Now() sim.Cycle
+}
+
+// Recorder captures directory message streams. It satisfies
+// core.Predictor so it can be attached wherever a passive predictor can;
+// all prediction surfaces are inert.
+type Recorder struct {
+	clock Clock
+	trace Trace
+}
+
+// NewRecorder creates a recorder stamping events with the given clock.
+func NewRecorder(clock Clock, workload string, nodes int, seed int64) *Recorder {
+	return &Recorder{
+		clock: clock,
+		trace: Trace{Workload: workload, Nodes: nodes, Seed: seed},
+	}
+}
+
+// Trace returns the captured trace (shared, not copied).
+func (r *Recorder) Trace() *Trace { return &r.trace }
+
+// Observe implements core.Predictor by recording the message.
+func (r *Recorder) Observe(addr mem.BlockAddr, obs core.Observation) core.Outcome {
+	var cycle int64
+	if r.clock != nil {
+		cycle = int64(r.clock.Now())
+	}
+	r.trace.Events = append(r.trace.Events, Event{
+		Cycle: cycle,
+		Addr:  uint64(addr),
+		Type:  uint8(obs.Type),
+		Node:  uint8(obs.Node),
+	})
+	return core.Outcome{}
+}
+
+// Name implements core.Predictor.
+func (r *Recorder) Name() string { return "Recorder" }
+
+// HistoryDepth implements core.Predictor.
+func (r *Recorder) HistoryDepth() int { return 0 }
+
+// Stats implements core.Predictor.
+func (r *Recorder) Stats() core.Stats { return core.Stats{} }
+
+// Census implements core.Predictor.
+func (r *Recorder) Census() core.Census { return core.Census{} }
+
+// PredictReaders implements core.Predictor (inert).
+func (r *Recorder) PredictReaders(mem.BlockAddr) (core.ReadPrediction, bool) {
+	return core.ReadPrediction{}, false
+}
+
+// PredictNext implements core.Predictor (inert).
+func (r *Recorder) PredictNext(mem.BlockAddr) (core.Symbol, bool) {
+	return core.Symbol{}, false
+}
+
+// PredictsUpgradeBy implements core.Predictor (inert).
+func (r *Recorder) PredictsUpgradeBy(mem.BlockAddr, mem.NodeID) bool { return false }
+
+// SWIAllowed implements core.Predictor (inert).
+func (r *Recorder) SWIAllowed(mem.BlockAddr) bool { return false }
+
+// SWIGuard implements core.Predictor (inert).
+func (r *Recorder) SWIGuard(mem.BlockAddr) core.SWIGuard { return core.SWIGuard{} }
+
+// AssumeReaders implements core.Predictor (inert).
+func (r *Recorder) AssumeReaders(mem.BlockAddr, mem.ReaderVec) {}
+
+// RetractReader implements core.Predictor (inert).
+func (r *Recorder) RetractReader(mem.BlockAddr, mem.NodeID) {}
+
+// Reset implements core.Predictor.
+func (r *Recorder) Reset() { r.trace.Events = nil }
+
+var _ core.Predictor = (*Recorder)(nil)
+
+// Replay feeds the trace's events, in captured order, to each predictor
+// and returns nothing; inspect the predictors' Stats/Census afterwards.
+// Captured order preserves per-block arrival order, which is all the
+// (per-block) two-level predictors depend on.
+func Replay(t *Trace, predictors ...core.Predictor) {
+	for _, e := range t.Events {
+		obs := core.Observation{Type: core.MsgType(e.Type), Node: mem.NodeID(e.Node)}
+		for _, p := range predictors {
+			p.Observe(mem.BlockAddr(e.Addr), obs)
+		}
+	}
+}
+
+// fileHeader guards the serialization format.
+const formatVersion = 1
+
+type fileEnvelope struct {
+	Format  int    `json:"format"`
+	Version int    `json:"version"`
+	Trace   *Trace `json:"trace"`
+}
+
+// Write serializes the trace as JSON.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(fileEnvelope{Format: formatVersion, Version: formatVersion, Trace: t}); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	var env fileEnvelope
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if env.Format != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format %d", env.Format)
+	}
+	if env.Trace == nil {
+		return nil, fmt.Errorf("trace: empty envelope")
+	}
+	return env.Trace, nil
+}

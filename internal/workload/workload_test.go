@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"specdsm/internal/machine"
+	"specdsm/internal/mem"
+)
+
+func defaultParams() Params {
+	return Params{Nodes: 16, Scale: 0.5, Seed: 3}
+}
+
+// checkStructure validates generator invariants shared by all apps.
+func checkStructure(t *testing.T, name string, progs []machine.Program, nodes int) {
+	t.Helper()
+	if len(progs) != nodes {
+		t.Fatalf("%s: %d programs for %d nodes", name, len(progs), nodes)
+	}
+	barriers := make([]int, nodes)
+	lockDepth := make([]int, nodes)
+	accesses := 0
+	for n, prog := range progs {
+		if len(prog) == 0 {
+			t.Fatalf("%s: node %d has an empty program", name, n)
+		}
+		for _, op := range prog {
+			switch op.Kind {
+			case machine.OpBarrier:
+				barriers[n]++
+			case machine.OpLock:
+				lockDepth[n]++
+			case machine.OpUnlock:
+				lockDepth[n]--
+				if lockDepth[n] < 0 {
+					t.Fatalf("%s: node %d unlocks before locking", name, n)
+				}
+			case machine.OpRead, machine.OpWrite:
+				accesses++
+				if op.Addr.Home() >= mem.NodeID(nodes) {
+					t.Fatalf("%s: node %d accesses block homed at %d (only %d nodes)",
+						name, n, op.Addr.Home(), nodes)
+				}
+			case machine.OpCompute:
+				if op.Cycles <= 0 {
+					t.Fatalf("%s: node %d has non-positive compute", name, n)
+				}
+			}
+		}
+		if lockDepth[n] != 0 {
+			t.Fatalf("%s: node %d ends holding %d locks", name, n, lockDepth[n])
+		}
+	}
+	for n := 1; n < nodes; n++ {
+		if barriers[n] != barriers[0] {
+			t.Fatalf("%s: unbalanced barriers: node 0 has %d, node %d has %d",
+				name, barriers[0], n, barriers[n])
+		}
+	}
+	if accesses == 0 {
+		t.Fatalf("%s: no memory accesses generated", name)
+	}
+}
+
+func TestAllAppsStructure(t *testing.T) {
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			progs := app.Generate(defaultParams())
+			checkStructure(t, app.Name, progs, 16)
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, app := range Apps() {
+		a := app.Generate(defaultParams())
+		b := app.Generate(defaultParams())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: generator not deterministic", app.Name)
+		}
+	}
+}
+
+func TestSeedChangesPrograms(t *testing.T) {
+	p1, p2 := defaultParams(), defaultParams()
+	p2.Seed = 99
+	same := 0
+	for _, app := range Apps() {
+		if reflect.DeepEqual(app.Generate(p1), app.Generate(p2)) {
+			same++
+		}
+	}
+	if same == len(Apps()) {
+		t.Fatal("no generator responds to the seed")
+	}
+}
+
+func TestScaleGrowsPrograms(t *testing.T) {
+	small, big := defaultParams(), defaultParams()
+	small.Scale, big.Scale = 0.5, 2.0
+	for _, app := range Apps() {
+		s := opCount(app.Generate(small))
+		l := opCount(app.Generate(big))
+		if l <= s {
+			t.Fatalf("%s: scale 2.0 (%d ops) not larger than 0.5 (%d ops)", app.Name, l, s)
+		}
+	}
+}
+
+func opCount(progs []machine.Program) int {
+	n := 0
+	for _, p := range progs {
+		n += len(p)
+	}
+	return n
+}
+
+func TestByName(t *testing.T) {
+	for _, app := range Apps() {
+		got, ok := ByName(app.Name)
+		if !ok || got.Name != app.Name {
+			t.Fatalf("ByName(%q) failed", app.Name)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Fatal("ByName should fail for unknown app")
+	}
+	if len(Names()) != 7 {
+		t.Fatalf("Names() = %v, want 7 apps", Names())
+	}
+}
+
+func TestPaperMetadata(t *testing.T) {
+	// Table 2 values must be preserved for reporting.
+	want := map[string]int{
+		"appbt": 40, "barnes": 21, "em3d": 50, "moldyn": 60,
+		"ocean": 12, "tomcatv": 50, "unstructured": 50,
+	}
+	for _, app := range Apps() {
+		if app.PaperIterations != want[app.Name] {
+			t.Errorf("%s: paper iterations %d, want %d", app.Name, app.PaperIterations, want[app.Name])
+		}
+		if app.PaperInput == "" || app.Description == "" {
+			t.Errorf("%s: missing metadata", app.Name)
+		}
+	}
+}
+
+// Every app must run to completion on the real machine with coherence
+// checking enabled — the core integration test of generator + protocol.
+func TestAllAppsRunOnMachine(t *testing.T) {
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			p := Params{Nodes: 8, Iterations: 3, Scale: 0.25, Seed: 2}
+			progs := app.Generate(p)
+			m := machine.New(machine.Config{Nodes: 8})
+			r, err := m.Run(progs)
+			if err != nil {
+				t.Fatalf("%s: %v", app.Name, err)
+			}
+			if r.Cycles == 0 || r.TotalReqWait == 0 {
+				t.Fatalf("%s: degenerate run: cycles=%d reqWait=%d", app.Name, r.Cycles, r.TotalReqWait)
+			}
+		})
+	}
+}
+
+func TestMicroPatternsRun(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(MicroParams) []machine.Program
+	}{
+		{"producer-consumer", ProducerConsumer},
+		{"migratory", MigratoryPattern},
+		{"stencil", StencilPattern},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			progs := c.gen(MicroParams{})
+			m := machine.New(machine.Config{Nodes: 4})
+			if _, err := m.Run(progs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnstructuredWideSharing(t *testing.T) {
+	progs := Unstructured(Params{Nodes: 16, Iterations: 2, Scale: 1, Seed: 1})
+	// Count distinct readers of producer-owned blocks.
+	readers := map[mem.BlockAddr]map[int]bool{}
+	writers := map[mem.BlockAddr]int{}
+	for n, prog := range progs {
+		for _, op := range prog {
+			switch op.Kind {
+			case machine.OpRead:
+				if readers[op.Addr] == nil {
+					readers[op.Addr] = map[int]bool{}
+				}
+				readers[op.Addr][n] = true
+			case machine.OpWrite:
+				writers[op.Addr]++
+			}
+		}
+	}
+	wide := 0
+	for _, rs := range readers {
+		if len(rs) >= 10 {
+			wide++
+		}
+	}
+	if wide == 0 {
+		t.Fatal("unstructured has no widely shared blocks")
+	}
+}

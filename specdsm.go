@@ -1,0 +1,419 @@
+// Package specdsm is a from-scratch reproduction of Lai & Falsafi's
+// "Memory Sharing Predictor: The Key to a Speculative Coherent DSM"
+// (ISCA 1999): a cycle-level CC-NUMA simulator with a full-map
+// write-invalidate coherence protocol, the Cosmos/MSP/VMSP pattern-based
+// coherence predictors, and the FR/SWI read-speculation mechanisms,
+// together with synthetic versions of the paper's seven benchmark
+// applications and the §5 analytic performance model.
+//
+// Typical use:
+//
+//	w, _ := specdsm.AppWorkload("em3d", specdsm.WorkloadParams{})
+//	base, _ := specdsm.Run(w, specdsm.MachineOptions{Mode: specdsm.ModeBase})
+//	swi, _ := specdsm.Run(w, specdsm.MachineOptions{Mode: specdsm.ModeSWI})
+//	fmt.Printf("speedup %.2f\n", float64(base.Cycles)/float64(swi.Cycles))
+//
+// The experiment drivers (PredictorStudy, SpeculationStudy) and table
+// builders (Figure7 ... Table5) regenerate every figure and table of the
+// paper's evaluation; cmd/paperrepro wires them to the command line.
+package specdsm
+
+import (
+	"fmt"
+
+	"specdsm/internal/core"
+	"specdsm/internal/machine"
+	"specdsm/internal/network"
+	"specdsm/internal/sim"
+	"specdsm/internal/workload"
+)
+
+// Mode selects the DSM flavor of §7.4.
+type Mode string
+
+const (
+	// ModeBase is the conventional DSM with no speculation.
+	ModeBase Mode = "base"
+	// ModeFR triggers read-sequence speculation on the first read only.
+	ModeFR Mode = "fr"
+	// ModeSWI uses Speculative Write-Invalidation plus First-Read.
+	ModeSWI Mode = "swi"
+)
+
+// PredictorKind names a predictor variant.
+type PredictorKind string
+
+const (
+	// Cosmos is the general message predictor baseline (Mukherjee & Hill).
+	Cosmos PredictorKind = "Cosmos"
+	// MSP is the request-only Memory Sharing Predictor.
+	MSP PredictorKind = "MSP"
+	// VMSP is the Vector MSP.
+	VMSP PredictorKind = "VMSP"
+)
+
+// Kinds lists the predictor variants in the paper's comparison order.
+func Kinds() []PredictorKind { return []PredictorKind{Cosmos, MSP, VMSP} }
+
+func (k PredictorKind) kind() (core.Kind, error) {
+	switch k {
+	case Cosmos:
+		return core.KindCosmos, nil
+	case MSP:
+		return core.KindMSP, nil
+	case VMSP:
+		return core.KindVMSP, nil
+	default:
+		return 0, fmt.Errorf("specdsm: unknown predictor kind %q", k)
+	}
+}
+
+// PredictorConfig selects a predictor variant and history depth.
+// Confidence > 0 enables an extension beyond the paper: speculation only
+// acts on pattern entries whose 2-bit confidence counter has reached the
+// threshold (accuracy measurement is unaffected).
+type PredictorConfig struct {
+	Kind       PredictorKind
+	Depth      int
+	Confidence int
+}
+
+// WorkloadParams sizes a workload instantiation. Zero values select the
+// defaults: 16 nodes, per-application iteration counts, scale 1.0, seed 1.
+type WorkloadParams struct {
+	Nodes      int
+	Iterations int
+	Scale      float64
+	Seed       int64
+}
+
+// Workload is a generated multi-node program, ready to run.
+type Workload struct {
+	Name     string
+	Nodes    int
+	programs []machine.Program
+}
+
+// Ops returns the total operation count across all per-node programs.
+func (w Workload) Ops() int {
+	n := 0
+	for _, p := range w.programs {
+		n += len(p)
+	}
+	return n
+}
+
+// AppNames returns the seven benchmark names (Table 2).
+func AppNames() []string { return workload.Names() }
+
+// AppInfo describes one benchmark for reporting.
+type AppInfo struct {
+	Name            string
+	Description     string
+	PaperInput      string
+	PaperIterations int
+}
+
+// AppInfos returns Table 2 metadata for all benchmarks.
+func AppInfos() []AppInfo {
+	var out []AppInfo
+	for _, a := range workload.Apps() {
+		out = append(out, AppInfo{a.Name, a.Description, a.PaperInput, a.PaperIterations})
+	}
+	return out
+}
+
+// AppWorkload instantiates one of the seven paper benchmarks.
+func AppWorkload(name string, p WorkloadParams) (Workload, error) {
+	app, ok := workload.ByName(name)
+	if !ok {
+		return Workload{}, fmt.Errorf("specdsm: unknown application %q (have %v)", name, AppNames())
+	}
+	wp := workload.Params{
+		Nodes:      p.Nodes,
+		Iterations: p.Iterations,
+		Scale:      p.Scale,
+		Seed:       p.Seed,
+	}
+	if wp.Nodes == 0 {
+		wp.Nodes = 16
+	}
+	return Workload{Name: name, Nodes: wp.Nodes, programs: app.Generate(wp)}, nil
+}
+
+// MicroPattern names a synthetic micro-workload for examples and tests.
+type MicroPattern string
+
+const (
+	// PatternProducerConsumer is the paper's running example (Figures 2-4).
+	PatternProducerConsumer MicroPattern = "producer-consumer"
+	// PatternMigratory is read+write ownership migration along a chain.
+	PatternMigratory MicroPattern = "migratory"
+	// PatternStencil is near-neighbour boundary sharing.
+	PatternStencil MicroPattern = "stencil"
+)
+
+// MicroWorkload instantiates a micro-pattern.
+func MicroWorkload(pattern MicroPattern, p WorkloadParams) (Workload, error) {
+	mp := workload.MicroParams{
+		Nodes:      p.Nodes,
+		Iterations: p.Iterations,
+		Seed:       p.Seed,
+	}
+	if mp.Nodes == 0 {
+		mp.Nodes = 4
+	}
+	var progs []machine.Program
+	switch pattern {
+	case PatternProducerConsumer:
+		progs = workload.ProducerConsumer(mp)
+	case PatternMigratory:
+		progs = workload.MigratoryPattern(mp)
+	case PatternStencil:
+		progs = workload.StencilPattern(mp)
+	default:
+		return Workload{}, fmt.Errorf("specdsm: unknown micro pattern %q", pattern)
+	}
+	return Workload{Name: string(pattern), Nodes: mp.Nodes, programs: progs}, nil
+}
+
+// MachineOptions configures the simulated DSM for one run.
+type MachineOptions struct {
+	// Mode selects Base-DSM, FR-DSM, or SWI-DSM. Empty means Base.
+	Mode Mode
+	// Observers attach passive predictors at every directory.
+	Observers []PredictorConfig
+	// Active overrides the speculation predictor (default: VMSP depth 1,
+	// as in the paper's §7.4).
+	Active *PredictorConfig
+	// SpecUpgrades enables the migratory-sharing extension.
+	SpecUpgrades bool
+	// DisableChecks turns off the coherence checker (benchmarks).
+	DisableChecks bool
+	// NetworkFlight overrides the interconnect flight latency in cycles
+	// (default 80, Table 1). Raising it raises the remote-to-local ratio:
+	// the empirical analogue of Figure 6's rtl panel (NUMA-Q vs Mercury vs
+	// Origin).
+	NetworkFlight int
+	// CacheCapacity bounds valid cache lines per node with LRU eviction
+	// (0 = unbounded, the paper's §6 "remote cache large enough"
+	// assumption). Lowering it reintroduces the capacity/conflict traffic
+	// the paper deliberately excludes.
+	CacheCapacity int
+}
+
+// PredictorResult reports one predictor's measurements over a run.
+type PredictorResult struct {
+	Kind            PredictorKind
+	Depth           int
+	Tracked         uint64
+	Predicted       uint64
+	Correct         uint64
+	Accuracy        float64 // Correct/Predicted   (Figures 7-8)
+	Coverage        float64 // Predicted/Tracked   (Table 3)
+	CorrectFraction float64 // Correct/Tracked     (Table 3, parenthesized)
+	Blocks          int
+	Entries         int
+	EntriesPerBlock float64 // Table 4 "pte"
+	BytesPerBlock   float64 // Table 4 "ovh" (depth-1 formulas)
+}
+
+// RunResult aggregates one simulation run.
+type RunResult struct {
+	Workload string
+	Mode     Mode
+	Nodes    int
+	// Time, in processor cycles.
+	Cycles            int64
+	ComputeCycles     int64
+	SyncCycles        int64
+	RequestWaitCycles int64
+	// Requests observed at the directories.
+	Reads    uint64
+	Writes   uint64
+	Upgrades uint64
+	// Speculation activity.
+	SpecHits            uint64
+	SpecReadsFR         uint64
+	SpecReadsSWI        uint64
+	SpecReadUnused      uint64
+	UnreferencedSpec    uint64
+	SpecDropped         uint64
+	SWIRecalls          uint64
+	SWIPremature        uint64
+	SpecUpgrades        uint64
+	SpecUpgradeMisfires uint64
+	// Finite-cache mode.
+	Evictions          uint64
+	EvictionWritebacks uint64
+	// Predictor measurements (observers, then active last if present).
+	Predictors []PredictorResult
+	Events     uint64
+}
+
+// WriteLike returns writes plus upgrades.
+func (r *RunResult) WriteLike() uint64 { return r.Writes + r.Upgrades }
+
+// RequestShare is the fraction of aggregate processor time spent waiting
+// on coherence transactions.
+func (r *RunResult) RequestShare() float64 {
+	total := r.ComputeCycles + r.SyncCycles + r.RequestWaitCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RequestWaitCycles) / float64(total)
+}
+
+// buildConfig translates public options into a machine configuration.
+func buildConfig(w Workload, opts MachineOptions) (machine.Config, Mode, error) {
+	cfg := machine.Config{
+		Nodes:                 w.Nodes,
+		DisableCoherenceCheck: opts.DisableChecks,
+		EnableSpecUpgrade:     opts.SpecUpgrades,
+		CacheCapacity:         opts.CacheCapacity,
+	}
+	if opts.CacheCapacity < 0 {
+		return cfg, "", fmt.Errorf("specdsm: negative cache capacity %d", opts.CacheCapacity)
+	}
+	if opts.NetworkFlight != 0 {
+		if opts.NetworkFlight < 0 {
+			return cfg, "", fmt.Errorf("specdsm: negative network flight latency %d", opts.NetworkFlight)
+		}
+		nc := network.DefaultConfig()
+		nc.FlightLatency = sim.Cycle(opts.NetworkFlight)
+		cfg.NetCfg = nc
+	}
+	var specs []machine.PredictorSpec
+	for _, o := range opts.Observers {
+		k, err := o.Kind.kind()
+		if err != nil {
+			return cfg, "", err
+		}
+		if o.Depth < 1 {
+			return cfg, "", fmt.Errorf("specdsm: observer depth %d < 1", o.Depth)
+		}
+		specs = append(specs, machine.PredictorSpec{Kind: k, Depth: o.Depth, Confidence: o.Confidence})
+	}
+	cfg.Observers = specs
+
+	mode := opts.Mode
+	if mode == "" {
+		mode = ModeBase
+	}
+	switch mode {
+	case ModeBase:
+		if opts.SpecUpgrades {
+			return cfg, "", fmt.Errorf("specdsm: SpecUpgrades requires an active predictor mode")
+		}
+	case ModeFR:
+		cfg.EnableFR = true
+	case ModeSWI:
+		cfg.EnableFR = true
+		cfg.EnableSWI = true
+	default:
+		return cfg, "", fmt.Errorf("specdsm: unknown mode %q", mode)
+	}
+	if mode != ModeBase {
+		active := PredictorConfig{Kind: VMSP, Depth: 1}
+		if opts.Active != nil {
+			active = *opts.Active
+		}
+		k, err := active.Kind.kind()
+		if err != nil {
+			return cfg, "", err
+		}
+		cfg.Active = &machine.PredictorSpec{Kind: k, Depth: active.Depth, Confidence: active.Confidence}
+	}
+	return cfg, mode, nil
+}
+
+// Run simulates the workload on a machine configured by opts.
+func Run(w Workload, opts MachineOptions) (*RunResult, error) {
+	if len(w.programs) == 0 {
+		return nil, fmt.Errorf("specdsm: empty workload")
+	}
+	cfg, mode, err := buildConfig(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(cfg)
+	res, err := m.Run(w.programs)
+	if err != nil {
+		return nil, fmt.Errorf("specdsm: %s/%s: %w", w.Name, mode, err)
+	}
+	return convert(w, mode, cfg, res), nil
+}
+
+func convert(w Workload, mode Mode, cfg machine.Config, res *machine.Result) *RunResult {
+	out := &RunResult{
+		Workload:            w.Name,
+		Mode:                mode,
+		Nodes:               w.Nodes,
+		Cycles:              int64(res.Cycles),
+		ComputeCycles:       int64(res.TotalCompute),
+		SyncCycles:          int64(res.TotalSync),
+		RequestWaitCycles:   int64(res.TotalReqWait),
+		Reads:               res.Dir.Reads,
+		Writes:              res.Dir.Writes,
+		Upgrades:            res.Dir.Upgrades,
+		SpecHits:            res.Cache.SpecHits,
+		SpecReadsFR:         res.Dir.SpecReadsFR,
+		SpecReadsSWI:        res.Dir.SpecReadsSWI,
+		SpecReadUnused:      res.Dir.SpecReadUnused,
+		UnreferencedSpec:    res.UnreferencedSpec,
+		SpecDropped:         res.Cache.SpecDropped,
+		SWIRecalls:          res.Dir.SWIRecalls,
+		SWIPremature:        res.Dir.SWIPremature,
+		SpecUpgrades:        res.Dir.SpecUpgrades,
+		SpecUpgradeMisfires: res.Dir.SpecUpgradeMisfires,
+		Evictions:           res.Cache.Evictions,
+		EvictionWritebacks:  res.Cache.EvictionWritebacks,
+		Events:              res.Events,
+	}
+	for _, spec := range cfg.Observers {
+		st := res.PredStats[spec]
+		cs := res.PredCensus[spec]
+		out.Predictors = append(out.Predictors, predictorResult(spec, st, cs))
+	}
+	if cfg.Active != nil {
+		out.Predictors = append(out.Predictors,
+			predictorResult(*cfg.Active, res.ActiveStats, res.ActiveCensus))
+	}
+	return out
+}
+
+func predictorResult(spec machine.PredictorSpec, st core.Stats, cs core.Census) PredictorResult {
+	var kind PredictorKind
+	switch spec.Kind {
+	case core.KindCosmos:
+		kind = Cosmos
+	case core.KindMSP:
+		kind = MSP
+	case core.KindVMSP:
+		kind = VMSP
+	}
+	return PredictorResult{
+		Kind:            kind,
+		Depth:           spec.Depth,
+		Tracked:         st.Tracked,
+		Predicted:       st.Predicted,
+		Correct:         st.Correct,
+		Accuracy:        st.Accuracy(),
+		Coverage:        st.Coverage(),
+		CorrectFraction: st.CorrectFraction(),
+		Blocks:          cs.Blocks,
+		Entries:         cs.Entries,
+		EntriesPerBlock: cs.EntriesPerBlock(),
+		BytesPerBlock:   core.BytesPerBlock(spec.Kind, cs.EntriesPerBlock()),
+	}
+}
+
+// Predictor returns the result for one attached predictor configuration.
+func (r *RunResult) Predictor(kind PredictorKind, depth int) (PredictorResult, bool) {
+	for _, p := range r.Predictors {
+		if p.Kind == kind && p.Depth == depth {
+			return p, true
+		}
+	}
+	return PredictorResult{}, false
+}

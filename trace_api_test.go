@@ -1,0 +1,87 @@
+package specdsm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specdsm"
+)
+
+// Offline trace evaluation must reproduce online observer measurements
+// exactly — this validates the whole capture path end to end.
+func TestTraceCaptureAndOfflineEvaluation(t *testing.T) {
+	w, err := specdsm.AppWorkload("em3d", specdsm.WorkloadParams{
+		Nodes: 8, Iterations: 4, Scale: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []specdsm.PredictorConfig{
+		{Kind: specdsm.Cosmos, Depth: 1},
+		{Kind: specdsm.MSP, Depth: 1},
+		{Kind: specdsm.VMSP, Depth: 1},
+		{Kind: specdsm.VMSP, Depth: 2},
+	}
+
+	var buf bytes.Buffer
+	online, sum, err := specdsm.CaptureTrace(w, specdsm.MachineOptions{
+		Mode:      specdsm.ModeBase,
+		Observers: configs,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events == 0 || sum.Blocks == 0 || sum.Workload != "em3d" {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	offline, sum2, err := specdsm.EvaluateTrace(&buf, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Events != sum.Events {
+		t.Fatalf("event counts differ: %d vs %d", sum2.Events, sum.Events)
+	}
+	if len(offline) != len(configs) {
+		t.Fatalf("%d offline results", len(offline))
+	}
+	for i, cfg := range configs {
+		on, ok := online.Predictor(cfg.Kind, cfg.Depth)
+		if !ok {
+			t.Fatalf("missing online result for %+v", cfg)
+		}
+		off := offline[i]
+		if on.Tracked != off.Tracked || on.Predicted != off.Predicted || on.Correct != off.Correct {
+			t.Fatalf("%v d=%d: online (%d,%d,%d) != offline (%d,%d,%d)",
+				cfg.Kind, cfg.Depth,
+				on.Tracked, on.Predicted, on.Correct,
+				off.Tracked, off.Predicted, off.Correct)
+		}
+		if on.Entries != off.Entries || on.Blocks != off.Blocks {
+			t.Fatalf("%v d=%d: census diverges", cfg.Kind, cfg.Depth)
+		}
+	}
+}
+
+func TestEvaluateTraceErrors(t *testing.T) {
+	if _, _, err := specdsm.EvaluateTrace(strings.NewReader("garbage"), nil); err == nil {
+		t.Fatal("expected decode error")
+	}
+	w, _ := specdsm.AppWorkload("ocean", specdsm.WorkloadParams{Nodes: 4, Iterations: 1, Scale: 0.25})
+	var buf bytes.Buffer
+	if _, _, err := specdsm.CaptureTrace(w, specdsm.MachineOptions{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := specdsm.EvaluateTrace(&buf,
+		[]specdsm.PredictorConfig{{Kind: "Oracle", Depth: 1}}); err == nil {
+		t.Fatal("expected unknown-kind error")
+	}
+}
+
+func TestCaptureTraceEmptyWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := specdsm.CaptureTrace(specdsm.Workload{}, specdsm.MachineOptions{}, &buf); err == nil {
+		t.Fatal("expected empty-workload error")
+	}
+}
