@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# check is the full gate: formatting, vet, build, and the test suite
+# under the race detector (the sweep engine is explicitly designed and
+# tested to be race-clean).
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

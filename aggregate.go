@@ -1,11 +1,13 @@
 package specdsm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"specdsm/internal/machine"
 	"specdsm/internal/report"
+	"specdsm/internal/sweep"
 	"specdsm/internal/workload"
 )
 
@@ -23,21 +25,50 @@ type Figure9Aggregate struct {
 // SpeculationStudySeeds repeats the speculation study across seeds and
 // aggregates Figure 9 per application. It quantifies how sensitive the
 // reproduction's speedups are to the synthetic workloads' randomness.
+// The full seeds×apps×modes simulation matrix fans out across one
+// cfg.Parallel-wide worker pool; aggregation order is (seeds outer,
+// cfg.Apps inner), independent of completion order.
 func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("specdsm: no seeds")
+	}
+	cfg = cfg.withDefaults()
+	// Flatten every (seed, app, mode) cell into one job list so
+	// parallelism is never limited by the seed count. Workloads are
+	// generated up front (cheap, and read-only once built); each is
+	// shared by its three mode runs.
+	nApps, nModes := len(cfg.Apps), len(specModes)
+	workloads := make([]Workload, len(seeds)*nApps)
+	for s, seed := range seeds {
+		wp := cfg.workloadParams()
+		wp.Seed = seed
+		if wp.Seed == 0 {
+			wp.Seed = 1
+		}
+		for i, app := range cfg.Apps {
+			w, err := AppWorkload(app, wp)
+			if err != nil {
+				return nil, err
+			}
+			workloads[s*nApps+i] = w
+		}
+	}
+	runs, err := sweep.Map(context.Background(), cfg.pool(), len(workloads)*nModes,
+		func(_ context.Context, j int) (*RunResult, error) {
+			return Run(workloads[j/nModes], MachineOptions{
+				Mode:          specModes[j%nModes],
+				DisableChecks: cfg.DisableChecks,
+			})
+		})
+	if err != nil {
+		return nil, err
 	}
 	acc := map[string]*struct {
 		fr, swi []float64
 	}{}
 	var order []string
-	for _, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		study, err := SpeculationStudy(c)
-		if err != nil {
-			return nil, err
-		}
+	for s := range seeds {
+		study := assembleSpeculation(cfg.Apps, runs[s*nApps*nModes:(s+1)*nApps*nModes])
 		for _, row := range Figure9(study) {
 			a := acc[row.App]
 			if a == nil {
@@ -108,8 +139,17 @@ type RTLPoint struct {
 // RTLSweep measures SWI-DSM's benefit as the interconnect slows down —
 // the empirical analogue of Figure 6's bottom-right panel: the higher the
 // remote-to-local ratio (clusters like NUMA-Q), the more a speculative
-// coherent DSM helps.
+// coherent DSM helps. Runs with default parallelism (one worker per
+// CPU); use RTLSweepParallel to pin the worker count.
 func RTLSweep(app string, p WorkloadParams, flights []int) ([]RTLPoint, error) {
+	return RTLSweepParallel(app, p, flights, 0)
+}
+
+// RTLSweepParallel is RTLSweep on a parallel-wide worker pool (0 or
+// negative selects runtime.NumCPU()). The flight×{Base, SWI} simulation
+// matrix fans out as independent jobs; output is identical for every
+// worker count.
+func RTLSweepParallel(app string, p WorkloadParams, flights []int, parallel int) ([]RTLPoint, error) {
 	if len(flights) == 0 {
 		flights = []int{20, 80, 200, 320}
 	}
@@ -117,16 +157,20 @@ func RTLSweep(app string, p WorkloadParams, flights []int) ([]RTLPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	runs, err := sweep.Map(context.Background(), sweep.New(parallel), 2*len(flights),
+		func(_ context.Context, j int) (*RunResult, error) {
+			mode := ModeBase
+			if j%2 == 1 {
+				mode = ModeSWI
+			}
+			return Run(w, MachineOptions{Mode: mode, NetworkFlight: flights[j/2], DisableChecks: true})
+		})
+	if err != nil {
+		return nil, err
+	}
 	var out []RTLPoint
-	for _, f := range flights {
-		base, err := Run(w, MachineOptions{Mode: ModeBase, NetworkFlight: f, DisableChecks: true})
-		if err != nil {
-			return nil, err
-		}
-		swi, err := Run(w, MachineOptions{Mode: ModeSWI, NetworkFlight: f, DisableChecks: true})
-		if err != nil {
-			return nil, err
-		}
+	for i, f := range flights {
+		base, swi := runs[2*i], runs[2*i+1]
 		out = append(out, RTLPoint{
 			Flight:     f,
 			RTL:        (258 + 2*float64(f)) / 104,
@@ -174,23 +218,25 @@ type AppCharacterization struct {
 }
 
 // Characterize statically analyzes the generated programs of each app.
+// Generation and analysis run per-application on the cfg.Parallel-wide
+// worker pool.
 func Characterize(cfg StudyConfig) ([]AppCharacterization, error) {
 	cfg = cfg.withDefaults()
-	var out []AppCharacterization
-	for _, name := range cfg.Apps {
-		app, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("specdsm: unknown application %q", name)
-		}
-		progs := app.Generate(workload.Params{
-			Nodes:      cfg.Nodes,
-			Iterations: cfg.Iterations,
-			Scale:      cfg.Scale,
-			Seed:       cfg.Seed,
+	return sweep.Map(context.Background(), cfg.pool(), len(cfg.Apps),
+		func(_ context.Context, i int) (AppCharacterization, error) {
+			name := cfg.Apps[i]
+			app, ok := workload.ByName(name)
+			if !ok {
+				return AppCharacterization{}, fmt.Errorf("specdsm: unknown application %q", name)
+			}
+			progs := app.Generate(workload.Params{
+				Nodes:      cfg.Nodes,
+				Iterations: cfg.Iterations,
+				Scale:      cfg.Scale,
+				Seed:       cfg.Seed,
+			})
+			return characterize(name, progs), nil
 		})
-		out = append(out, characterize(name, progs))
-	}
-	return out, nil
 }
 
 func characterize(name string, progs []machine.Program) AppCharacterization {

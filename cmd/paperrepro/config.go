@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"specdsm"
+)
+
+// experiments lists the -only values in presentation order.
+var experiments = []string{
+	"table1", "table2", "characterize", "fig6", "rtl",
+	"fig7", "fig8", "table3", "table4", "fig9", "table5",
+}
+
+// options is the fully parsed and validated CLI configuration; flag
+// handling lives here, separated from main's orchestration, so the
+// flag→StudyConfig mapping is unit-testable.
+type options struct {
+	Only  string
+	Seeds []int64
+	Cfg   specdsm.StudyConfig
+}
+
+// parseOptions builds options from raw command-line arguments (without
+// the program name). Usage and error text go to errOut.
+func parseOptions(args []string, errOut io.Writer) (options, error) {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		only     = fs.String("only", "", "run one experiment: "+strings.Join(experiments, ","))
+		scale    = fs.Float64("scale", 1.0, "workload scale factor")
+		seed     = fs.Int64("seed", 1, "workload generation seed")
+		iters    = fs.Int("iters", 0, "override iteration count (0 = per-app default)")
+		apps     = fs.String("apps", "", "comma-separated application subset")
+		nodes    = fs.Int("nodes", 16, "machine size")
+		seeds    = fs.String("seeds", "", "comma-separated seeds: aggregate Figure 9 across them")
+		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = one per CPU; 1 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	if fs.NArg() > 0 {
+		return options{}, fmt.Errorf("paperrepro: unexpected argument %q", fs.Arg(0))
+	}
+
+	o := options{
+		Only: *only,
+		Cfg: specdsm.StudyConfig{
+			Nodes:      *nodes,
+			Scale:      *scale,
+			Seed:       *seed,
+			Iterations: *iters,
+			Parallel:   *parallel,
+		},
+	}
+	if *apps != "" {
+		list, err := splitList("-apps", *apps)
+		if err != nil {
+			return options{}, err
+		}
+		o.Cfg.Apps = list
+	}
+	if o.Only != "" && !validExperiment(o.Only) {
+		return options{}, fmt.Errorf("paperrepro: unknown experiment %q (have %s)",
+			o.Only, strings.Join(experiments, ","))
+	}
+	if *seeds != "" {
+		list, err := splitList("-seeds", *seeds)
+		if err != nil {
+			return options{}, err
+		}
+		for _, s := range list {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return options{}, fmt.Errorf("paperrepro: bad seed %q", s)
+			}
+			o.Seeds = append(o.Seeds, v)
+		}
+	}
+	if err := o.Cfg.Validate(); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+// want reports whether the named experiment should run.
+func (o options) want(name string) bool { return o.Only == "" || o.Only == name }
+
+func validExperiment(name string) bool {
+	for _, e := range experiments {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// splitList splits a comma-separated flag value, rejecting empty
+// entries so a stray comma fails loudly instead of producing a
+// confusing downstream error (or silently selecting a default).
+func splitList(flagName, csv string) ([]string, error) {
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return nil, fmt.Errorf("paperrepro: empty entry in %s %q", flagName, csv)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

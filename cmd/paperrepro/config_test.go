@@ -1,0 +1,100 @@
+package main
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := o.Cfg
+	if c.Nodes != 16 || c.Scale != 1.0 || c.Seed != 1 || c.Iterations != 0 {
+		t.Fatalf("default cfg = %+v", c)
+	}
+	if c.Parallel != 0 {
+		t.Fatalf("default Parallel = %d, want 0 (auto = one per CPU)", c.Parallel)
+	}
+	if len(c.Apps) != 0 {
+		t.Fatalf("default apps = %v, want all (empty)", c.Apps)
+	}
+	if o.Only != "" || o.Seeds != nil {
+		t.Fatalf("options = %+v", o)
+	}
+	if !o.want("fig7") || !o.want("table5") {
+		t.Fatal("default options must want every experiment")
+	}
+}
+
+func TestParseOptionsFullFlagSet(t *testing.T) {
+	o, err := parseOptions([]string{
+		"-only", "fig9", "-scale", "0.5", "-seed", "7", "-iters", "3",
+		"-apps", "em3d, moldyn", "-nodes", "8", "-parallel", "4",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.Cfg
+	want.Nodes, want.Scale, want.Seed, want.Iterations, want.Parallel = 8, 0.5, 7, 3, 4
+	want.Apps = []string{"em3d", "moldyn"}
+	if !reflect.DeepEqual(o.Cfg, want) {
+		t.Fatalf("cfg = %+v, want %+v", o.Cfg, want)
+	}
+	if o.Only != "fig9" {
+		t.Fatalf("only = %q", o.Only)
+	}
+	if o.want("fig7") || !o.want("fig9") {
+		t.Fatal("want() ignores -only")
+	}
+}
+
+func TestParseOptionsSeeds(t *testing.T) {
+	o, err := parseOptions([]string{"-seeds", "1, 2,30"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o.Seeds, []int64{1, 2, 30}) {
+		t.Fatalf("seeds = %v", o.Seeds)
+	}
+}
+
+func TestParseOptionsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string // expected error substring
+	}{
+		{"bad seed", []string{"-seeds", "1,x"}, "bad seed"},
+		{"empty seed entry", []string{"-seeds", "1,,2"}, "empty entry"},
+		{"empty app entry", []string{"-apps", "em3d,"}, "empty entry"},
+		{"unknown app", []string{"-apps", "nope"}, "unknown application"},
+		{"unknown experiment", []string{"-only", "fig99"}, "unknown experiment"},
+		{"stray positional", []string{"fig7"}, "unexpected argument"},
+		{"unknown flag", []string{"-bogus"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if tc.frag != "" && !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want substring %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseOptionsParallelOne(t *testing.T) {
+	o, err := parseOptions([]string{"-parallel", "1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cfg.Parallel != 1 {
+		t.Fatalf("Parallel = %d, want 1 (sequential reproduction mode)", o.Cfg.Parallel)
+	}
+}

@@ -6,138 +6,117 @@
 //	paperrepro -scale 0.5      # smaller workloads (faster)
 //	paperrepro -apps em3d,moldyn
 //	paperrepro -seed 7
+//	paperrepro -parallel 8     # simulations per batch; output is
+//	                           # byte-identical for every -parallel value
 //
-// Simulated results depend only on the flags (runs are deterministic).
+// Simulated results depend only on the flags (runs are deterministic):
+// the sweep engine merges parallel simulation results back in submission
+// order, so -parallel N reproduces -parallel 1 exactly.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"specdsm"
 )
 
 func main() {
-	var (
-		only  = flag.String("only", "", "run one experiment: table1,table2,table3,table4,table5,fig6,fig7,fig8,fig9,characterize")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		seed  = flag.Int64("seed", 1, "workload generation seed")
-		iters = flag.Int("iters", 0, "override iteration count (0 = per-app default)")
-		apps  = flag.String("apps", "", "comma-separated application subset")
-		nodes = flag.Int("nodes", 16, "machine size")
-		seeds = flag.String("seeds", "", "comma-separated seeds: aggregate Figure 9 across them")
-	)
-	flag.Parse()
-
-	cfg := specdsm.StudyConfig{
-		Nodes:         *nodes,
-		Scale:         *scale,
-		Seed:          *seed,
-		Iterations:    *iters,
-		DisableChecks: false,
-	}
-	if *apps != "" {
-		cfg.Apps = strings.Split(*apps, ",")
-	}
-	if err := cfg.Validate(); err != nil {
+	o, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
-	want := func(name string) bool { return *only == "" || *only == name }
-
-	if want("table1") {
+func run(o options) error {
+	cfg := o.Cfg
+	if o.want("table1") {
 		fmt.Println(specdsm.RenderTable1())
 	}
-	if want("table2") {
+	if o.want("table2") {
 		fmt.Println(specdsm.RenderTable2())
 	}
-	if want("characterize") {
+	if o.want("characterize") {
 		rows, err := specdsm.Characterize(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(specdsm.RenderCharacterization(rows))
 	}
-	if want("fig6") {
+	if o.want("fig6") {
 		fmt.Println(specdsm.RenderFigure6())
 	}
-	if *only == "rtl" {
+	if o.Only == "rtl" {
 		start := time.Now()
-		points, err := specdsm.RTLSweep("em3d", specdsm.WorkloadParams{
-			Nodes: *nodes, Scale: *scale, Seed: *seed, Iterations: *iters,
-		}, nil)
+		points, err := specdsm.RTLSweepParallel("em3d", specdsm.WorkloadParams{
+			Nodes: cfg.Nodes, Scale: cfg.Scale, Seed: cfg.Seed, Iterations: cfg.Iterations,
+		}, nil, cfg.Parallel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(specdsm.RenderRTLSweep("em3d", points))
 		fmt.Printf("[rtl sweep: %v]\n", time.Since(start).Round(time.Millisecond))
-		return
+		return nil
 	}
 
-	if *seeds != "" {
-		var seedList []int64
-		for _, s := range strings.Split(*seeds, ",") {
-			var v int64
-			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
-				fmt.Fprintf(os.Stderr, "paperrepro: bad seed %q\n", s)
-				os.Exit(2)
-			}
-			seedList = append(seedList, v)
-		}
+	if len(o.Seeds) > 0 {
 		start := time.Now()
-		agg, err := specdsm.SpeculationStudySeeds(cfg, seedList)
+		agg, err := specdsm.SpeculationStudySeeds(cfg, o.Seeds)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(specdsm.RenderFigure9Aggregate(agg))
 		fmt.Printf("[multi-seed study: %v]\n", time.Since(start).Round(time.Millisecond))
-		return
+		return nil
 	}
 
-	needPred := want("fig7") || want("fig8") || want("table3") || want("table4")
+	needPred := o.want("fig7") || o.want("fig8") || o.want("table3") || o.want("table4")
 	if needPred {
 		start := time.Now()
 		study, err := specdsm.PredictorStudy(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		if want("fig7") {
+		if o.want("fig7") {
 			fmt.Println(specdsm.RenderFigure7(specdsm.Figure7(study)))
 		}
-		if want("fig8") {
+		if o.want("fig8") {
 			fmt.Println(specdsm.RenderFigure8(specdsm.Figure8(study, nil)))
 		}
-		if want("table3") {
+		if o.want("table3") {
 			fmt.Println(specdsm.RenderTable3(specdsm.Table3(study)))
 		}
-		if want("table4") {
+		if o.want("table4") {
 			fmt.Println(specdsm.RenderTable4(specdsm.Table4(study)))
 		}
 		fmt.Printf("[predictor study: %v]\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
-	needSpec := want("fig9") || want("table5")
+	needSpec := o.want("fig9") || o.want("table5")
 	if needSpec {
 		start := time.Now()
 		study, err := specdsm.SpeculationStudy(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		if want("fig9") {
+		if o.want("fig9") {
 			fmt.Println(specdsm.RenderFigure9(specdsm.Figure9(study)))
 		}
-		if want("table5") {
+		if o.want("table5") {
 			fmt.Println(specdsm.RenderTable5(specdsm.Table5(study)))
 		}
 		fmt.Printf("[speculation study: %v]\n", time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }

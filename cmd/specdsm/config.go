@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"specdsm"
+)
+
+// runSpec is the fully parsed and validated CLI configuration. Flag
+// handling lives here, separated from main's orchestration, so the
+// flag→options mapping is unit-testable.
+type runSpec struct {
+	// Apps holds the applications to simulate (one result block each,
+	// in order). Empty when Pattern is set.
+	Apps    []string
+	Pattern string
+	WP      specdsm.WorkloadParams
+	Opts    specdsm.MachineOptions
+	// Parallel sizes the worker pool for multi-app sweeps (0 = one per
+	// CPU). Output order and content are independent of it.
+	Parallel int
+	TraceOut string
+	List     bool
+}
+
+// parseRun builds a runSpec from raw command-line arguments (without
+// the program name). Usage and error text go to errOut.
+func parseRun(args []string, errOut io.Writer) (runSpec, error) {
+	fs := flag.NewFlagSet("specdsm", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		app       = fs.String("app", "", "application workload(s), comma-separated (see -list)")
+		pattern   = fs.String("pattern", "", "micro pattern: producer-consumer, migratory, stencil")
+		mode      = fs.String("mode", "base", "DSM mode: base, fr, swi")
+		nodes     = fs.Int("nodes", 0, "machine size (default 16 for apps, 4 for patterns)")
+		iters     = fs.Int("iters", 0, "iterations (0 = default)")
+		scale     = fs.Float64("scale", 1.0, "workload scale")
+		seed      = fs.Int64("seed", 1, "generation seed")
+		predictor = fs.String("predictor", "", "active predictor kind override (Cosmos, MSP, VMSP)")
+		depth     = fs.Int("depth", 1, "active predictor history depth")
+		conf      = fs.Int("confidence", 0, "confidence threshold for speculation (0 = paper behaviour)")
+		capacity  = fs.Int("capacity", 0, "cache capacity in lines per node (0 = unbounded, paper assumption)")
+		specUp    = fs.Bool("spec-upgrades", false, "enable the migratory speculative-upgrade extension")
+		observe   = fs.Bool("observe", false, "attach Cosmos/MSP/VMSP observers (d=1) and report accuracy")
+		traceOut  = fs.String("trace-out", "", "capture the coherence message trace to this file")
+		parallel  = fs.Int("parallel", 0, "concurrent simulations for multi-app runs (0 = one per CPU)")
+		list      = fs.Bool("list", false, "list applications and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return runSpec{}, err
+	}
+	if fs.NArg() > 0 {
+		return runSpec{}, fmt.Errorf("specdsm: unexpected argument %q", fs.Arg(0))
+	}
+
+	s := runSpec{
+		Pattern:  *pattern,
+		WP:       specdsm.WorkloadParams{Nodes: *nodes, Iterations: *iters, Scale: *scale, Seed: *seed},
+		Parallel: *parallel,
+		TraceOut: *traceOut,
+		List:     *list,
+	}
+	if *app != "" {
+		for _, a := range strings.Split(*app, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return runSpec{}, fmt.Errorf("specdsm: empty entry in -app %q", *app)
+			}
+			s.Apps = append(s.Apps, a)
+		}
+	}
+	if s.List {
+		return s, nil
+	}
+	switch {
+	case len(s.Apps) > 0 && s.Pattern != "":
+		return runSpec{}, fmt.Errorf("specdsm: -app and -pattern are mutually exclusive")
+	case len(s.Apps) == 0 && s.Pattern == "":
+		return runSpec{}, fmt.Errorf("specdsm: need -app or -pattern (or -list)")
+	}
+	if s.TraceOut != "" && len(s.Apps) > 1 {
+		return runSpec{}, fmt.Errorf("specdsm: -trace-out needs a single workload, got %d apps", len(s.Apps))
+	}
+
+	s.Opts = specdsm.MachineOptions{
+		Mode:          specdsm.Mode(*mode),
+		SpecUpgrades:  *specUp,
+		CacheCapacity: *capacity,
+	}
+	if *predictor != "" || *conf > 0 {
+		kind := specdsm.VMSP
+		if *predictor != "" {
+			kind = specdsm.PredictorKind(*predictor)
+		}
+		s.Opts.Active = &specdsm.PredictorConfig{Kind: kind, Depth: *depth, Confidence: *conf}
+	}
+	if *observe {
+		for _, k := range specdsm.Kinds() {
+			s.Opts.Observers = append(s.Opts.Observers, specdsm.PredictorConfig{Kind: k, Depth: 1})
+		}
+	}
+	return s, nil
+}
+
+// workloads instantiates every workload the spec names, in order.
+func (s runSpec) workloads() ([]specdsm.Workload, error) {
+	if s.Pattern != "" {
+		w, err := specdsm.MicroWorkload(specdsm.MicroPattern(s.Pattern), s.WP)
+		if err != nil {
+			return nil, err
+		}
+		return []specdsm.Workload{w}, nil
+	}
+	out := make([]specdsm.Workload, len(s.Apps))
+	for i, a := range s.Apps {
+		w, err := specdsm.AppWorkload(a, s.WP)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}

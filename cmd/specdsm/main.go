@@ -1,135 +1,117 @@
-// Command specdsm runs a single workload on a single DSM configuration
-// and prints the run's measurements:
+// Command specdsm runs one or more workloads on a single DSM
+// configuration and prints each run's measurements:
 //
 //	specdsm -app em3d -mode swi
 //	specdsm -app unstructured -mode fr -scale 0.5 -seed 3
+//	specdsm -app em3d,moldyn,ocean -mode swi -parallel 4
 //	specdsm -pattern producer-consumer -mode swi -nodes 4
 //	specdsm -app moldyn -mode swi -predictor MSP -depth 2
 //	specdsm -app moldyn -mode swi -spec-upgrades
+//
+// With a comma-separated -app list the simulations fan out across a
+// -parallel-wide worker pool; reports stream out in the order the apps
+// were named, independent of completion order.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"specdsm"
+	"specdsm/internal/sweep"
 )
 
 func main() {
-	var (
-		app       = flag.String("app", "", "application workload (see -list)")
-		pattern   = flag.String("pattern", "", "micro pattern: producer-consumer, migratory, stencil")
-		mode      = flag.String("mode", "base", "DSM mode: base, fr, swi")
-		nodes     = flag.Int("nodes", 0, "machine size (default 16 for apps, 4 for patterns)")
-		iters     = flag.Int("iters", 0, "iterations (0 = default)")
-		scale     = flag.Float64("scale", 1.0, "workload scale")
-		seed      = flag.Int64("seed", 1, "generation seed")
-		predictor = flag.String("predictor", "", "active predictor kind override (Cosmos, MSP, VMSP)")
-		depth     = flag.Int("depth", 1, "active predictor history depth")
-		conf      = flag.Int("confidence", 0, "confidence threshold for speculation (0 = paper behaviour)")
-		capacity  = flag.Int("capacity", 0, "cache capacity in lines per node (0 = unbounded, paper assumption)")
-		specUp    = flag.Bool("spec-upgrades", false, "enable the migratory speculative-upgrade extension")
-		observe   = flag.Bool("observe", false, "attach Cosmos/MSP/VMSP observers (d=1) and report accuracy")
-		traceOut  = flag.String("trace-out", "", "capture the coherence message trace to this file")
-		list      = flag.Bool("list", false, "list applications and exit")
-	)
-	flag.Parse()
-
-	if *list {
+	spec, err := parseRun(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if spec.List {
 		for _, a := range specdsm.AppInfos() {
 			fmt.Printf("%-13s %s\n", a.Name, a.Description)
 		}
 		return
 	}
-
-	wp := specdsm.WorkloadParams{Nodes: *nodes, Iterations: *iters, Scale: *scale, Seed: *seed}
-	var (
-		w   specdsm.Workload
-		err error
-	)
-	switch {
-	case *app != "" && *pattern != "":
-		fmt.Fprintln(os.Stderr, "specdsm: -app and -pattern are mutually exclusive")
-		os.Exit(2)
-	case *app != "":
-		w, err = specdsm.AppWorkload(*app, wp)
-	case *pattern != "":
-		w, err = specdsm.MicroWorkload(specdsm.MicroPattern(*pattern), wp)
-	default:
-		fmt.Fprintln(os.Stderr, "specdsm: need -app or -pattern (or -list)")
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	opts := specdsm.MachineOptions{
-		Mode:          specdsm.Mode(*mode),
-		SpecUpgrades:  *specUp,
-		CacheCapacity: *capacity,
-	}
-	if *predictor != "" || *conf > 0 {
-		kind := specdsm.VMSP
-		if *predictor != "" {
-			kind = specdsm.PredictorKind(*predictor)
-		}
-		opts.Active = &specdsm.PredictorConfig{Kind: kind, Depth: *depth, Confidence: *conf}
-	}
-	if *observe {
-		for _, k := range specdsm.Kinds() {
-			opts.Observers = append(opts.Observers, specdsm.PredictorConfig{Kind: k, Depth: 1})
-		}
-	}
-
-	var r *specdsm.RunResult
-	if *traceOut != "" {
-		f, ferr := os.Create(*traceOut)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
-		}
-		var sum specdsm.TraceSummary
-		r, sum, err = specdsm.CaptureTrace(w, opts, f)
-		cerr := f.Close()
-		if err == nil && cerr != nil {
-			err = cerr
-		}
-		if err == nil {
-			fmt.Printf("trace               %s (%d events, %d blocks)\n", *traceOut, sum.Events, sum.Blocks)
-		}
-	} else {
-		r, err = specdsm.Run(w, opts)
-	}
-	if err != nil {
+	if err := run(spec, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
 
-	fmt.Printf("workload            %s (%d nodes, %d ops)\n", r.Workload, r.Nodes, w.Ops())
-	fmt.Printf("mode                %s\n", r.Mode)
-	fmt.Printf("execution time      %d cycles\n", r.Cycles)
-	fmt.Printf("compute cycles      %d\n", r.ComputeCycles)
-	fmt.Printf("sync cycles         %d\n", r.SyncCycles)
-	fmt.Printf("request wait cycles %d (%.1f%% of processor time)\n",
+func run(spec runSpec, out io.Writer) error {
+	workloads, err := spec.workloads()
+	if err != nil {
+		return err
+	}
+
+	if spec.TraceOut != "" {
+		f, err := os.Create(spec.TraceOut)
+		if err != nil {
+			return err
+		}
+		r, sum, err := specdsm.CaptureTrace(workloads[0], spec.Opts, f)
+		cerr := f.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace               %s (%d events, %d blocks)\n", spec.TraceOut, sum.Events, sum.Blocks)
+		return writeReport(out, r, workloads[0].Ops(), spec.Opts)
+	}
+
+	return sweep.Stream(context.Background(), sweep.New(spec.Parallel), len(workloads),
+		func(_ context.Context, i int) (*specdsm.RunResult, error) {
+			return specdsm.Run(workloads[i], spec.Opts)
+		},
+		func(i int, r *specdsm.RunResult) error {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			return writeReport(out, r, workloads[i].Ops(), spec.Opts)
+		})
+}
+
+// writeReport prints one run's measurement block. The block is staged
+// in a builder so out sees a single write whose error (e.g. a broken
+// pipe mid-sweep) aborts the remaining reports instead of vanishing.
+func writeReport(out io.Writer, r *specdsm.RunResult, ops int, opts specdsm.MachineOptions) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload            %s (%d nodes, %d ops)\n", r.Workload, r.Nodes, ops)
+	fmt.Fprintf(&b, "mode                %s\n", r.Mode)
+	fmt.Fprintf(&b, "execution time      %d cycles\n", r.Cycles)
+	fmt.Fprintf(&b, "compute cycles      %d\n", r.ComputeCycles)
+	fmt.Fprintf(&b, "sync cycles         %d\n", r.SyncCycles)
+	fmt.Fprintf(&b, "request wait cycles %d (%.1f%% of processor time)\n",
 		r.RequestWaitCycles, r.RequestShare()*100)
-	fmt.Printf("requests            %d reads, %d writes, %d upgrades\n",
+	fmt.Fprintf(&b, "requests            %d reads, %d writes, %d upgrades\n",
 		r.Reads, r.Writes, r.Upgrades)
 	if r.Mode != specdsm.ModeBase {
-		fmt.Printf("speculative reads   %d via FR, %d via SWI (%d hits, %d verified misses, %d dropped)\n",
+		fmt.Fprintf(&b, "speculative reads   %d via FR, %d via SWI (%d hits, %d verified misses, %d dropped)\n",
 			r.SpecReadsFR, r.SpecReadsSWI, r.SpecHits, r.SpecReadUnused, r.SpecDropped)
-		fmt.Printf("SWI                 %d recalls, %d premature\n", r.SWIRecalls, r.SWIPremature)
+		fmt.Fprintf(&b, "SWI                 %d recalls, %d premature\n", r.SWIRecalls, r.SWIPremature)
 	}
-	if *capacity > 0 {
-		fmt.Printf("cache               %d lines/node, %d evictions (%d writebacks)\n",
-			*capacity, r.Evictions, r.EvictionWritebacks)
-		if *specUp {
-			fmt.Printf("spec upgrades       %d granted, %d misfires\n", r.SpecUpgrades, r.SpecUpgradeMisfires)
+	if opts.CacheCapacity > 0 {
+		fmt.Fprintf(&b, "cache               %d lines/node, %d evictions (%d writebacks)\n",
+			opts.CacheCapacity, r.Evictions, r.EvictionWritebacks)
+		if opts.SpecUpgrades {
+			fmt.Fprintf(&b, "spec upgrades       %d granted, %d misfires\n", r.SpecUpgrades, r.SpecUpgradeMisfires)
 		}
 	}
 	for _, p := range r.Predictors {
-		fmt.Printf("predictor %-7s d=%d  accuracy %5.1f%%  coverage %5.1f%%  pte %.1f\n",
+		fmt.Fprintf(&b, "predictor %-7s d=%d  accuracy %5.1f%%  coverage %5.1f%%  pte %.1f\n",
 			p.Kind, p.Depth, p.Accuracy*100, p.Coverage*100, p.EntriesPerBlock)
 	}
+	_, err := io.WriteString(out, b.String())
+	return err
 }

@@ -1,9 +1,12 @@
 package specdsm
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"specdsm/internal/analytic"
+	"specdsm/internal/sweep"
 )
 
 // StudyConfig parameterizes the experiment drivers. Zero values select
@@ -18,6 +21,11 @@ type StudyConfig struct {
 	Depths     []int
 	// DisableChecks speeds up benchmark runs.
 	DisableChecks bool
+	// Parallel is the number of simulations run concurrently (0 or
+	// negative selects runtime.NumCPU()). Results are independent of
+	// this knob: every study merges job results in submission order, so
+	// Parallel: 1 and Parallel: N produce identical output.
+	Parallel int
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -36,8 +44,15 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	if len(c.Depths) == 0 {
 		c.Depths = []int{1, 2, 4}
 	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.NumCPU()
+	}
 	return c
 }
+
+// pool builds the worker pool all study drivers fan their simulation
+// jobs out on. Call on a config that already has defaults applied.
+func (c StudyConfig) pool() *sweep.Pool { return sweep.New(c.Parallel) }
 
 func (c StudyConfig) workloadParams() WorkloadParams {
 	return WorkloadParams{
@@ -65,7 +80,8 @@ func (a AppPrediction) Get(kind PredictorKind, depth int) PredictorResult {
 
 // PredictorStudy runs Base-DSM once per application with all predictor
 // variants attached passively, yielding the data behind Figures 7-8 and
-// Tables 3-4.
+// Tables 3-4. The per-application runs execute on a cfg.Parallel-wide
+// worker pool; the result order is always cfg.Apps order.
 func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
 	cfg = cfg.withDefaults()
 	var observers []PredictorConfig
@@ -74,33 +90,33 @@ func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
 			observers = append(observers, PredictorConfig{Kind: kind, Depth: d})
 		}
 	}
-	var out []AppPrediction
-	for _, app := range cfg.Apps {
-		w, err := AppWorkload(app, cfg.workloadParams())
-		if err != nil {
-			return nil, err
-		}
-		res, err := Run(w, MachineOptions{
-			Mode:          ModeBase,
-			Observers:     observers,
-			DisableChecks: cfg.DisableChecks,
+	return sweep.Map(context.Background(), cfg.pool(), len(cfg.Apps),
+		func(_ context.Context, i int) (AppPrediction, error) {
+			app := cfg.Apps[i]
+			w, err := AppWorkload(app, cfg.workloadParams())
+			if err != nil {
+				return AppPrediction{}, err
+			}
+			res, err := Run(w, MachineOptions{
+				Mode:          ModeBase,
+				Observers:     observers,
+				DisableChecks: cfg.DisableChecks,
+			})
+			if err != nil {
+				return AppPrediction{}, err
+			}
+			ap := AppPrediction{
+				App:      app,
+				Results:  make(map[PredictorConfig]PredictorResult),
+				Reads:    res.Reads,
+				Writes:   res.Writes,
+				Upgrades: res.Upgrades,
+			}
+			for _, pr := range res.Predictors {
+				ap.Results[PredictorConfig{Kind: pr.Kind, Depth: pr.Depth}] = pr
+			}
+			return ap, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		ap := AppPrediction{
-			App:      app,
-			Results:  make(map[PredictorConfig]PredictorResult),
-			Reads:    res.Reads,
-			Writes:   res.Writes,
-			Upgrades: res.Upgrades,
-		}
-		for _, pr := range res.Predictors {
-			ap.Results[PredictorConfig{Kind: pr.Kind, Depth: pr.Depth}] = pr
-		}
-		out = append(out, ap)
-	}
-	return out, nil
 }
 
 // AppSpeculation holds the Base/FR/SWI runs for one application (§7.4).
@@ -111,28 +127,57 @@ type AppSpeculation struct {
 	SWI  *RunResult
 }
 
+// specModes is the mode column order of §7.4's comparison.
+var specModes = [3]Mode{ModeBase, ModeFR, ModeSWI}
+
 // SpeculationStudy runs every application under Base-DSM, FR-DSM, and
 // SWI-DSM (VMSP depth 1 active, as in the paper), yielding the data
-// behind Figure 9 and Table 5.
+// behind Figure 9 and Table 5. Workload generation happens once per
+// application up front (it is cheap and its programs are read-only
+// during simulation), then all len(Apps)×3 simulations fan out across
+// the cfg.Parallel-wide worker pool.
 func SpeculationStudy(cfg StudyConfig) ([]AppSpeculation, error) {
 	cfg = cfg.withDefaults()
-	var out []AppSpeculation
-	for _, app := range cfg.Apps {
-		w, err := AppWorkload(app, cfg.workloadParams())
+	return speculationApps(cfg.pool(), cfg, cfg.workloadParams())
+}
+
+// speculationApps runs the app×mode simulation matrix for one seed's
+// workload parameters, merging results back into cfg.Apps order.
+func speculationApps(pool *sweep.Pool, cfg StudyConfig, wp WorkloadParams) ([]AppSpeculation, error) {
+	workloads := make([]Workload, len(cfg.Apps))
+	for i, app := range cfg.Apps {
+		w, err := AppWorkload(app, wp)
 		if err != nil {
 			return nil, err
 		}
-		var runs [3]*RunResult
-		for i, mode := range []Mode{ModeBase, ModeFR, ModeSWI} {
-			r, err := Run(w, MachineOptions{Mode: mode, DisableChecks: cfg.DisableChecks})
-			if err != nil {
-				return nil, err
-			}
-			runs[i] = r
-		}
-		out = append(out, AppSpeculation{App: app, Base: runs[0], FR: runs[1], SWI: runs[2]})
+		workloads[i] = w
 	}
-	return out, nil
+	runs, err := sweep.Map(context.Background(), pool, len(cfg.Apps)*len(specModes),
+		func(_ context.Context, j int) (*RunResult, error) {
+			w := workloads[j/len(specModes)]
+			mode := specModes[j%len(specModes)]
+			return Run(w, MachineOptions{Mode: mode, DisableChecks: cfg.DisableChecks})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return assembleSpeculation(cfg.Apps, runs), nil
+}
+
+// assembleSpeculation folds a mode-major run slice (len(apps)×len(
+// specModes), apps outer, specModes inner) back into per-app rows. It
+// is the single place the flattened job index maps to Base/FR/SWI.
+func assembleSpeculation(apps []string, runs []*RunResult) []AppSpeculation {
+	out := make([]AppSpeculation, len(apps))
+	for i, app := range apps {
+		out[i] = AppSpeculation{
+			App:  app,
+			Base: runs[i*len(specModes)+0],
+			FR:   runs[i*len(specModes)+1],
+			SWI:  runs[i*len(specModes)+2],
+		}
+	}
+	return out
 }
 
 // Figure7Row is one group of bars of Figure 7: base predictor accuracy at

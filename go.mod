@@ -1,0 +1,3 @@
+module specdsm
+
+go 1.24

@@ -7,6 +7,7 @@ package specdsm_test
 // if shapes moved).
 
 import (
+	"reflect"
 	"testing"
 
 	"specdsm"
@@ -38,6 +39,88 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 				t.Fatalf("nondeterministic: %d vs %d cycles", a, b)
 			}
 		})
+	}
+}
+
+// TestStudiesParallelInvariant pins the sweep engine's core contract:
+// the study drivers produce deep-equal results at Parallel: 8 and
+// Parallel: 1 (the exact sequential order of the pre-pool loops), for
+// multiple seeds. This is what makes -parallel N byte-identical to
+// -parallel 1 at the CLI.
+func TestStudiesParallelInvariant(t *testing.T) {
+	for _, seed := range []int64{11, 23} {
+		seed := seed
+		cfg := specdsm.StudyConfig{
+			Apps:       []string{"em3d", "moldyn", "tomcatv"},
+			Nodes:      8,
+			Iterations: 3,
+			Scale:      0.25,
+			Seed:       seed,
+		}
+		seq, par := cfg, cfg
+		seq.Parallel, par.Parallel = 1, 8
+
+		p1, err := specdsm.PredictorStudy(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p8, err := specdsm.PredictorStudy(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p1, p8) {
+			t.Fatalf("seed %d: PredictorStudy diverged between Parallel 1 and 8:\n%+v\nvs\n%+v", seed, p1, p8)
+		}
+
+		s1, err := specdsm.SpeculationStudy(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s8, err := specdsm.SpeculationStudy(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s1, s8) {
+			t.Fatalf("seed %d: SpeculationStudy diverged between Parallel 1 and 8:\n%+v\nvs\n%+v", seed, s1, s8)
+		}
+	}
+}
+
+// TestAggregatesParallelInvariant extends the invariant to the
+// multi-seed aggregate and the rtl sweep.
+func TestAggregatesParallelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate sweeps are slow for -short")
+	}
+	cfg := specdsm.StudyConfig{
+		Apps: []string{"em3d", "tomcatv"}, Nodes: 8, Iterations: 3, Scale: 0.25,
+		DisableChecks: true,
+	}
+	seq, par := cfg, cfg
+	seq.Parallel, par.Parallel = 1, 8
+	a1, err := specdsm.SpeculationStudySeeds(seq, []int64{11, 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, err := specdsm.SpeculationStudySeeds(par, []int64{11, 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a8) {
+		t.Fatalf("SpeculationStudySeeds diverged:\n%+v\nvs\n%+v", a1, a8)
+	}
+
+	wp := specdsm.WorkloadParams{Nodes: 8, Iterations: 3, Scale: 0.25, Seed: 11}
+	r1, err := specdsm.RTLSweepParallel("em3d", wp, []int{20, 200}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := specdsm.RTLSweepParallel("em3d", wp, []int{20, 200}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatalf("RTLSweep diverged:\n%+v\nvs\n%+v", r1, r8)
 	}
 }
 

@@ -1,0 +1,218 @@
+// Package sweep is a deterministic worker pool for the paper studies.
+//
+// Every experiment in the evaluation (Figures 7-9, Tables 3-5, the rtl
+// and multi-seed sweeps) is a set of independent app×mode×depth×seed
+// simulations. The pool fans those jobs out across GOMAXPROCS
+// goroutines while guaranteeing that the observable outcome — results,
+// their order, and which error is reported — is identical to running
+// the jobs sequentially:
+//
+//   - Jobs are dispatched in index order and results are merged back in
+//     index order, regardless of completion order.
+//   - When jobs fail, the failure with the lowest index wins, exactly
+//     as a sequential loop would have reported it. Dispatch of new jobs
+//     stops, but lower-index jobs already in flight run to completion so
+//     an earlier (more authoritative) failure is never lost.
+//   - A panicking job is captured as a *PanicError rather than taking
+//     down the process, on both the sequential and parallel paths.
+//
+// A Pool with one worker executes jobs strictly sequentially on the
+// calling goroutine — byte-identical to the pre-pool study loops.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool sizes the worker set for Map and Stream. The zero value and
+// New(0) both select runtime.NumCPU() workers. Pools are stateless and
+// may be reused and shared freely.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; n <= 0 selects
+// runtime.NumCPU().
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return &Pool{workers: n}
+}
+
+// Workers reports the configured worker count.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return p.workers
+}
+
+// Sequential reports whether the pool degenerates to in-order,
+// single-goroutine execution.
+func (p *Pool) Sequential() bool { return p.Workers() == 1 }
+
+// PanicError is a panic recovered from a job, preserving the job index,
+// the panic value, and the goroutine stack at the panic site.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn for every index in [0, n) on the pool and returns the
+// results in index order. On failure it returns the error of the
+// lowest-index failed job — the same error a sequential loop over the
+// jobs would have returned — and no results. Cancelling ctx stops
+// dispatch of not-yet-started jobs and is reported as ctx.Err() unless
+// a job failure takes precedence.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Stream(ctx, p, n, fn, func(i int, v T) error {
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream runs fn for every index in [0, n) on the pool and delivers
+// each result to emit in index order, as soon as the result and all of
+// its predecessors are available. emit always runs on the calling
+// goroutine and is never invoked for an index at or beyond a failed
+// one. A non-nil error from emit stops the sweep and is returned.
+func Stream[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error), emit func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return streamSeq(ctx, n, fn, emit)
+	}
+
+	type item struct {
+		i   int
+		v   T
+		err error
+	}
+	// Buffered to n so workers never block on send: the merger is then
+	// free to drain until close without any worker-side coordination.
+	results := make(chan item, n)
+	var (
+		next atomic.Int64 // next index to claim
+		stop atomic.Bool  // set on failure: claim no further jobs
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := runJob(ctx, i, fn)
+				results <- item{i: i, v: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Ordered merge. pending buffers out-of-order completions; failIdx
+	// tracks the lowest failed index seen so far. Dispatch stops on the
+	// first failure, but in-flight lower-index jobs still finish and may
+	// lower failIdx further — exactly matching what a sequential loop
+	// would have hit first.
+	pending := make(map[int]T, workers)
+	nextEmit := 0
+	failIdx := n
+	var failErr, emitErr error
+	for it := range results {
+		if it.err != nil {
+			if it.i < failIdx {
+				failIdx, failErr = it.i, it.err
+			}
+			stop.Store(true)
+			continue
+		}
+		if it.i >= failIdx || emitErr != nil {
+			continue
+		}
+		pending[it.i] = it.v
+		for emitErr == nil && nextEmit < failIdx {
+			v, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			if err := emit(nextEmit, v); err != nil {
+				emitErr = err
+				stop.Store(true)
+				break
+			}
+			nextEmit++
+		}
+	}
+	switch {
+	case emitErr != nil && nextEmit < failIdx:
+		// emit(nextEmit) failed with every job before it successful: a
+		// sequential loop would have died there too, before reaching any
+		// later job failure.
+		return emitErr
+	case failErr != nil:
+		return failErr
+	case emitErr != nil:
+		return emitErr
+	default:
+		return ctx.Err()
+	}
+}
+
+// streamSeq is the one-worker fast path: in-order execution on the
+// calling goroutine, stopping at the first failure — the exact shape of
+// the study loops the pool replaced.
+func streamSeq[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), emit func(i int, v T) error) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v, err := runJob(ctx, i, fn)
+		if err != nil {
+			return err
+		}
+		if err := emit(i, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
