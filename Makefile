@@ -1,11 +1,16 @@
 GO ?= go
+# bench pipes go test into benchjson; pipefail keeps a failing benchmark
+# run from silently writing an incomplete BENCH_PR2.json.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench benchsmoke
 
-# check is the full gate: formatting, vet, build, and the test suite
-# under the race detector (the sweep engine is explicitly designed and
-# tested to be race-clean).
-check: fmt vet build race
+# check is the full gate: formatting, vet, build, the test suite under
+# the race detector (the sweep engine is explicitly designed and tested
+# to be race-clean), and a one-iteration benchmark smoke run so the
+# benches cannot silently rot.
+check: fmt vet build race benchsmoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -23,5 +28,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark — the per-table/figure study benches plus
+# the hot-path microbenches (Observe, KernelSchedule) — with -benchmem,
+# and records ns/op, B/op, allocs/op, and the headline metrics to
+# BENCH_PR2.json via cmd/benchjson. The JSON is committed so perf PRs
+# diff against the previous trajectory point.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/core ./internal/sim \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+
+# benchsmoke compiles and runs every benchmark once, without recording.
+benchsmoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

@@ -1,0 +1,42 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// performance record. It reads the bench log on stdin, echoes it
+// unchanged to stdout (so it can sit in a pipeline without hiding the
+// human-readable results), and writes the parsed benchmarks — ns/op,
+// B/op, allocs/op, and every custom metric such as the studies' headline
+// table/figure scalars — to the file named by -o.
+//
+//	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... | benchjson -o BENCH_PR2.json
+//
+// The emitted file seeds the repo's performance trajectory: each perf PR
+// regenerates it via `make bench`, and diffs against the committed copy
+// show exactly which hot path moved.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_PR2.json", "output JSON file")
+	flag.Parse()
+
+	report, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}

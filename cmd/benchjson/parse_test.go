@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: specdsm
+BenchmarkFig7PredictorAccuracy 	       1	 86783413 ns/op	        77.75 meanCosmos%	        94.92 meanVMSP%	16781808 B/op	   79749 allocs/op
+--- BENCH: BenchmarkFig7PredictorAccuracy
+    bench_test.go:37:
+        Figure 7 ...
+BenchmarkObserve/VMSP/d4 	  100000	        25.33 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelSchedule-8 	  100000	       109.7 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	specdsm	1.063s
+`
+
+func TestParse(t *testing.T) {
+	var echoed strings.Builder
+	report, err := parse(strings.NewReader(sampleLog), &echoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echoed.String() != sampleLog {
+		t.Error("input not echoed verbatim")
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+
+	fig7 := report.Benchmarks[0]
+	if fig7.Name != "Fig7PredictorAccuracy" || fig7.Iterations != 1 {
+		t.Fatalf("fig7 = %+v", fig7)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":       86783413,
+		"meanCosmos%": 77.75,
+		"meanVMSP%":   94.92,
+		"B/op":        16781808,
+		"allocs/op":   79749,
+	} {
+		if got := fig7.Metrics[unit]; got != want {
+			t.Errorf("fig7 %s = %v, want %v", unit, got, want)
+		}
+	}
+
+	sub := report.Benchmarks[1]
+	if sub.Name != "Observe/VMSP/d4" {
+		t.Fatalf("sub-benchmark name = %q", sub.Name)
+	}
+	if sub.Metrics["allocs/op"] != 0 {
+		t.Errorf("allocs/op = %v, want 0", sub.Metrics["allocs/op"])
+	}
+
+	if report.Benchmarks[2].Name != "KernelSchedule-8" {
+		t.Errorf("name with GOMAXPROCS suffix = %q", report.Benchmarks[2].Name)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	specdsm	1.063s",
+		"--- BENCH: BenchmarkFig7PredictorAccuracy",
+		"BenchmarkBroken abc 1 ns/op",
+		"Benchmark 1", // too short
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

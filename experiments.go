@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"specdsm/internal/analytic"
+	"specdsm/internal/core"
 	"specdsm/internal/sweep"
 )
 
@@ -432,8 +433,8 @@ func (c StudyConfig) Validate() error {
 		}
 	}
 	for _, d := range cc.Depths {
-		if d < 1 {
-			return fmt.Errorf("specdsm: invalid depth %d", d)
+		if d < 1 || d > core.MaxDepth {
+			return fmt.Errorf("specdsm: invalid depth %d (supported range [1,%d])", d, core.MaxDepth)
 		}
 	}
 	return nil

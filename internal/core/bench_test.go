@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"specdsm/internal/mem"
+)
+
+// The paper attaches up to 9 observer predictors to every directory
+// message, so Observe is the innermost loop of every study. These
+// benchmarks pin its steady-state cost — and, via ReportAllocs and
+// TestObserveSteadyStateZeroAllocs, that the existing-pattern path does
+// not allocate.
+
+// benchSeq is the producer/consumer iteration of Figures 2-4: one
+// upgrade, two acks (tracked only by Cosmos), two reads.
+func benchSeq() []Observation {
+	return producerConsumerIter()
+}
+
+func benchObserve(b *testing.B, kind Kind, depth int) {
+	p := New(kind, depth)
+	seq := benchSeq()
+	// Warm up until every pattern at this depth is learned, so the timed
+	// loop exercises only the existing-pattern path.
+	for i := 0; i < 4*depth+4; i++ {
+		feed(p, seq...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(blk, seq[i%len(seq)])
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	for _, kind := range []Kind{KindCosmos, KindMSP, KindVMSP} {
+		for _, depth := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%v/d%d", kind, depth), func(b *testing.B) {
+				benchObserve(b, kind, depth)
+			})
+		}
+	}
+}
+
+// BenchmarkObserveColdBlocks measures the allocation path: every access
+// touches a new block, so block and pattern-table growth dominate.
+func BenchmarkObserveColdBlocks(b *testing.B) {
+	p := NewMSP(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := mem.MakeAddr(mem.NodeID(i%16), uint64(i))
+		p.Observe(addr, Observation{Type: MsgRead, Node: mem.NodeID(i % 16)})
+	}
+}
+
+// BenchmarkPredictReaders measures the speculation surface: VMSP's single
+// vector lookup vs MSP's chain expansion (which no longer clones the
+// block state).
+func BenchmarkPredictReaders(b *testing.B) {
+	for _, kind := range []Kind{KindMSP, KindVMSP} {
+		b.Run(kind.String(), func(b *testing.B) {
+			p := New(kind, 1)
+			for i := 0; i < 4; i++ {
+				feed(p, producerConsumerIter()...)
+			}
+			feed(p, obs(MsgUpgrade, 3))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := p.PredictReaders(blk); !ok {
+					b.Fatal("no prediction")
+				}
+			}
+		})
+	}
+}
+
+// TestObserveSteadyStateZeroAllocs is the acceptance guard for the packed
+// pattern keys: once a pattern is learned, re-observing it must not touch
+// the heap, for every predictor kind and evaluated depth.
+func TestObserveSteadyStateZeroAllocs(t *testing.T) {
+	for _, kind := range []Kind{KindCosmos, KindMSP, KindVMSP} {
+		for _, depth := range []int{1, 2, 4} {
+			p := New(kind, depth)
+			seq := benchSeq()
+			for i := 0; i < 4*depth+4; i++ {
+				feed(p, seq...)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(1000, func() {
+				p.Observe(blk, seq[i%len(seq)])
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%v d=%d: Observe steady state allocates %.2f/op, want 0", kind, depth, avg)
+			}
+		}
+	}
+}

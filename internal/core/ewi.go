@@ -7,17 +7,17 @@ import "specdsm/internal/mem"
 // home node. A write by processor P to block B predicts that P is done
 // writing its previously recorded block B' (if different), making B' a
 // candidate for Speculative Write-Invalidation.
+//
+// Presence in the map is the "has an entry" bit: the table is one map, so
+// Update and Last each cost a single lookup (the old twin last/has layout
+// paid two per call and allocated two maps per node).
 type EWITable struct {
 	last map[mem.NodeID]mem.BlockAddr
-	has  map[mem.NodeID]bool
 }
 
 // NewEWITable returns an empty table.
 func NewEWITable() *EWITable {
-	return &EWITable{
-		last: make(map[mem.NodeID]mem.BlockAddr),
-		has:  make(map[mem.NodeID]bool),
-	}
+	return &EWITable{last: make(map[mem.NodeID]mem.BlockAddr)}
 }
 
 // Update records that writer issued a write/upgrade for addr. It returns
@@ -27,7 +27,6 @@ func NewEWITable() *EWITable {
 func (t *EWITable) Update(writer mem.NodeID, addr mem.BlockAddr) (prev mem.BlockAddr, swiCandidate bool) {
 	prev, ok := t.last[writer]
 	t.last[writer] = addr
-	t.has[writer] = true
 	if !ok || prev == addr {
 		return 0, false
 	}
@@ -36,14 +35,11 @@ func (t *EWITable) Update(writer mem.NodeID, addr mem.BlockAddr) (prev mem.Block
 
 // Last returns the most recent write block recorded for writer.
 func (t *EWITable) Last(writer mem.NodeID) (mem.BlockAddr, bool) {
-	if !t.has[writer] {
-		return 0, false
-	}
-	return t.last[writer], true
+	addr, ok := t.last[writer]
+	return addr, ok
 }
 
-// Reset clears the table.
+// Reset clears the table, retaining its storage.
 func (t *EWITable) Reset() {
-	t.last = make(map[mem.NodeID]mem.BlockAddr)
-	t.has = make(map[mem.NodeID]bool)
+	clear(t.last)
 }

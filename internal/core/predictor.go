@@ -136,35 +136,51 @@ type Predictor interface {
 
 // SWIGuard is a stable handle on the pattern-table entry carrying the SWI
 // premature bit for one write pattern. The zero value is a no-op guard
-// that always allows SWI.
+// that always allows SWI. Guards reference entries by index, so they stay
+// valid as the entry store grows; a guard issued before a Reset carries a
+// stale generation and degrades to the no-op zero-value behaviour.
 type SWIGuard struct {
-	e *entry
+	store *entryStore
+	idx   int32
+	gen   uint32
 }
 
+// live reports whether the guard still points into the current table
+// generation.
+func (g SWIGuard) live() bool { return g.store != nil && g.gen == g.store.gen }
+
 // Allowed reports whether SWI may fire for this pattern.
-func (g SWIGuard) Allowed() bool { return g.e == nil || !g.e.noSWI }
+func (g SWIGuard) Allowed() bool { return !g.live() || !g.store.at(g.idx).noSWI }
 
 // MarkPremature sets the premature bit, permanently suppressing SWI for
 // this pattern.
 func (g SWIGuard) MarkPremature() {
-	if g.e != nil {
-		g.e.noSWI = true
+	if g.live() {
+		g.store.at(g.idx).noSWI = true
 	}
 }
 
 // ReadPrediction is a predicted upcoming reader set plus the pattern-table
 // entries that produced it, so that misspeculation verification can prune
-// readers that never referenced a speculatively forwarded block.
+// readers that never referenced a speculatively forwarded block. Like
+// SWIGuard, it holds entry indices; Prune on a prediction issued before a
+// Reset is a no-op.
 type ReadPrediction struct {
 	Readers mem.ReaderVec
-	entries []*entry
+	store   *entryStore
+	gen     uint32
+	entries []int32
 }
 
 // Prune removes node n from the pattern entries behind this prediction.
 // It implements the paper's "removes mispredicted request sequences from
 // the pattern tables" on negative verification feedback.
 func (rp ReadPrediction) Prune(n mem.NodeID) {
-	for _, e := range rp.entries {
+	if rp.store == nil || rp.gen != rp.store.gen {
+		return
+	}
+	for _, idx := range rp.entries {
+		e := rp.store.at(idx)
 		if !e.pred.Valid() {
 			continue
 		}

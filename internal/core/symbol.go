@@ -121,11 +121,9 @@ func (s Symbol) String() string {
 	return fmt.Sprintf("<%v,P%d>", s.Type, s.Node)
 }
 
-// appendKey serializes the symbol into b for use as a pattern-table key.
-func (s Symbol) appendKey(b []byte) []byte {
-	b = append(b, byte(s.Type), byte(s.Node))
-	v := uint64(s.Vec)
-	return append(b,
-		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+// pack encodes the symbol's (type, node) pair into one 16-bit pattern-key
+// slot: type in the low byte, node in the high byte. The reader vector is
+// carried separately in the key (see patKey in twolevel.go).
+func (s Symbol) pack() uint16 {
+	return uint16(s.Type) | uint16(s.Node)<<8
 }

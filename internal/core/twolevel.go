@@ -31,6 +31,61 @@ func (k Kind) String() string {
 	}
 }
 
+// MaxDepth is the largest supported history depth. The paper evaluates
+// depths 1, 2, and 4; the packed pattern-key encoding (see patKey) sizes
+// its fixed slots for MaxDepth symbols.
+const MaxDepth = 4
+
+// Pattern-key encoding and determinism contract
+//
+// A pattern key packs up to MaxDepth history symbols into one fixed-size
+// comparable value instead of a heap-allocated string:
+//
+//   - tn holds the (type, node) pair of slot i in bits [16i, 16i+16)
+//     (type in the low byte, node in the high byte);
+//   - vec[i] holds slot i's reader vector (non-zero only for VMSP
+//     read-run symbols).
+//
+// Slot 0 is the oldest symbol. Unused slots are zero; since every pushed
+// symbol has Type != MsgInvalid (= 0), histories of different lengths can
+// never collide, so no explicit length field is needed in the key. The
+// encoding is a bijection of the symbol sequence, which is what keeps the
+// optimization observably identical to the old string-keyed tables: the
+// pattern tables hold exactly the same (history → prediction) pairs, so
+// every Observe/Predict result — and therefore every simulated cycle
+// count pinned by the golden tests — is unchanged.
+//
+// patKey is a value type: blockState maintains the current history key
+// incrementally (push shifts in place), and chain expansion in
+// PredictReaders works on a stack copy instead of cloning a blockState.
+type patKey struct {
+	tn  uint64
+	vec [MaxDepth]uint64
+}
+
+// push appends symbol s to a history holding have symbols at the given
+// depth, shifting out the oldest symbol when full. It returns the new
+// symbol count.
+func (k *patKey) push(s Symbol, have, depth int) int {
+	if have == depth {
+		k.tn >>= 16
+		copy(k.vec[:depth-1], k.vec[1:depth])
+		k.vec[depth-1] = 0
+		have--
+	}
+	k.tn |= uint64(s.pack()) << (16 * uint(have))
+	k.vec[have] = uint64(s.Vec)
+	return have + 1
+}
+
+// patternKey indexes the predictor-wide pattern table: per-block tables
+// are folded into one map so that Reset can reuse the bucket storage and
+// no per-block map ever needs allocating.
+type patternKey struct {
+	addr mem.BlockAddr
+	key  patKey
+}
+
 // entry is one pattern-table entry: the predicted successor of a specific
 // message-history sequence, plus the SWI premature bit (§4.1) for entries
 // whose prediction is a write or upgrade.
@@ -64,44 +119,59 @@ func (e *entry) confDown() {
 	}
 }
 
-// blockState holds the per-block history register and pattern table.
+// entryStore backs all pattern entries of one predictor in a single
+// slice; the pattern map holds int32 indices into it. This removes the
+// per-entry heap allocation of the old map[string]*entry layout and gives
+// SWIGuard and ReadPrediction stable handles (indices survive slice
+// growth, unlike interior pointers). gen counts Resets so handles issued
+// before a Reset turn into no-ops instead of touching entries of the
+// reused table.
+type entryStore struct {
+	entries []entry
+	gen     uint32
+}
+
+func (s *entryStore) at(i int32) *entry { return &s.entries[i] }
+
+func (s *entryStore) alloc(pred Symbol) int32 {
+	s.entries = append(s.entries, entry{pred: pred})
+	return int32(len(s.entries) - 1)
+}
+
+// noEntry marks an empty entry reference (blockState.lastWrite).
+const noEntry int32 = -1
+
+// blockState holds the per-block history register.
 type blockState struct {
-	// hist holds up to depth most-recent symbols, oldest first.
-	hist []Symbol
+	// key is the packed history, maintained incrementally by push.
+	key patKey
+	// n is the number of symbols currently in the history (≤ depth).
+	n uint8
 	// open is the read run accumulated since the last non-read symbol
 	// (VMSP only).
 	open mem.ReaderVec
-	// patterns maps an encoded history to its entry.
-	patterns map[string]*entry
-	// lastWriteEntry is the entry whose prediction recorded the block's
+	// lastWrite indexes the entry whose prediction recorded the block's
 	// most recent write/upgrade; it carries the SWI premature bit.
-	lastWriteEntry *entry
-}
-
-func (bs *blockState) key() string {
-	b := make([]byte, 0, len(bs.hist)*10)
-	for _, s := range bs.hist {
-		b = s.appendKey(b)
-	}
-	return string(b)
+	lastWrite int32
 }
 
 func (bs *blockState) push(s Symbol, depth int) {
-	if len(bs.hist) == depth {
-		copy(bs.hist, bs.hist[1:])
-		bs.hist[len(bs.hist)-1] = s
-		return
-	}
-	bs.hist = append(bs.hist, s)
+	bs.n = uint8(bs.key.push(s, int(bs.n), depth))
 }
 
 // TwoLevel is the shared two-level adaptive predictor engine. It is
 // configured as Cosmos, MSP, or VMSP via Kind; see New.
 type TwoLevel struct {
-	kind   Kind
-	depth  int
-	blocks map[mem.BlockAddr]*blockState
-	stats  Stats
+	kind  Kind
+	depth int
+	// blocks maps a block to its index in blockStates; both containers
+	// are retained (cleared, not reallocated) across Reset.
+	blocks      map[mem.BlockAddr]int32
+	blockStates []blockState
+	// patterns is the single predictor-wide pattern table.
+	patterns map[patternKey]int32
+	store    *entryStore
+	stats    Stats
 	// maxChain bounds reader-chain expansion for non-vector predictors in
 	// PredictReaders.
 	maxChain int
@@ -112,15 +182,20 @@ type TwoLevel struct {
 }
 
 // New constructs a predictor of the given kind with history depth d (the
-// paper evaluates d = 1, 2, 4).
+// paper evaluates d = 1, 2, 4; at most MaxDepth is supported).
 func New(kind Kind, depth int) *TwoLevel {
 	if depth < 1 {
 		panic(fmt.Sprintf("core: history depth %d < 1", depth))
 	}
+	if depth > MaxDepth {
+		panic(fmt.Sprintf("core: history depth %d > MaxDepth %d", depth, MaxDepth))
+	}
 	return &TwoLevel{
 		kind:     kind,
 		depth:    depth,
-		blocks:   make(map[mem.BlockAddr]*blockState),
+		blocks:   make(map[mem.BlockAddr]int32),
+		patterns: make(map[patternKey]int32),
+		store:    &entryStore{},
 		maxChain: mem.MaxNodes,
 	}
 }
@@ -165,9 +240,18 @@ func (p *TwoLevel) HistoryDepth() int { return p.depth }
 // Stats implements Predictor.
 func (p *TwoLevel) Stats() Stats { return p.stats }
 
-// Reset implements Predictor.
+// Reset implements Predictor. Tables are cleared but their storage is
+// retained, so a reset predictor re-learns without re-allocating; it is
+// observably equivalent to a freshly constructed one. Outstanding
+// SWIGuard and ReadPrediction handles are invalidated by Reset: their
+// methods become no-ops (a generation check keeps them from touching the
+// reused tables).
 func (p *TwoLevel) Reset() {
-	p.blocks = make(map[mem.BlockAddr]*blockState)
+	clear(p.blocks)
+	p.blockStates = p.blockStates[:0]
+	clear(p.patterns)
+	p.store.entries = p.store.entries[:0]
+	p.store.gen++
 	p.stats = Stats{}
 }
 
@@ -184,13 +268,25 @@ func (p *TwoLevel) tracks(t MsgType) bool {
 	return t.IsRequest()
 }
 
+// block returns the state for addr, allocating it on first touch. The
+// returned pointer is valid until the next block call (slice growth).
 func (p *TwoLevel) block(addr mem.BlockAddr) *blockState {
-	bs := p.blocks[addr]
-	if bs == nil {
-		bs = &blockState{patterns: make(map[string]*entry)}
-		p.blocks[addr] = bs
+	idx, ok := p.blocks[addr]
+	if !ok {
+		idx = int32(len(p.blockStates))
+		p.blockStates = append(p.blockStates, blockState{lastWrite: noEntry})
+		p.blocks[addr] = idx
 	}
-	return bs
+	return &p.blockStates[idx]
+}
+
+// lookup returns the state for addr without allocating.
+func (p *TwoLevel) lookup(addr mem.BlockAddr) *blockState {
+	idx, ok := p.blocks[addr]
+	if !ok {
+		return nil
+	}
+	return &p.blockStates[idx]
 }
 
 // Observe implements Predictor. Messages must be fed in directory arrival
@@ -203,11 +299,11 @@ func (p *TwoLevel) Observe(addr mem.BlockAddr, obs Observation) Outcome {
 	bs := p.block(addr)
 
 	if p.kind == KindVMSP {
-		return p.observeVMSP(bs, obs)
+		return p.observeVMSP(addr, bs, obs)
 	}
 
 	sym := Symbol{Type: obs.Type, Node: obs.Node}
-	out := p.scoreAndLearn(bs, sym)
+	out := p.scoreAndLearn(addr, bs, sym)
 	p.stats.add(out)
 	return out
 }
@@ -216,18 +312,21 @@ func (p *TwoLevel) Observe(addr mem.BlockAddr, obs Observation) Outcome {
 // scored by membership in the predicted vector; a non-read first closes
 // any open run (recording the complete vector as one history symbol) and
 // is then scored as an ordinary symbol.
-func (p *TwoLevel) observeVMSP(bs *blockState, obs Observation) Outcome {
+func (p *TwoLevel) observeVMSP(addr mem.BlockAddr, bs *blockState, obs Observation) Outcome {
 	if obs.Type == MsgRead {
 		out := Outcome{Tracked: true}
-		if e, ok := bs.patterns[bs.key()]; ok && e.pred.Valid() {
-			out.Predicted = true
-			e.uses++
-			if e.pred.Type == MsgRead && e.pred.Vec.Has(obs.Node) && !bs.open.Has(obs.Node) {
-				out.Correct = true
-				e.hits++
-				e.confUp()
-			} else {
-				e.confDown()
+		if idx, ok := p.patterns[patternKey{addr, bs.key}]; ok {
+			e := p.store.at(idx)
+			if e.pred.Valid() {
+				out.Predicted = true
+				e.uses++
+				if e.pred.Type == MsgRead && e.pred.Vec.Has(obs.Node) && !bs.open.Has(obs.Node) {
+					out.Correct = true
+					e.hits++
+					e.confUp()
+				} else {
+					e.confDown()
+				}
 			}
 		}
 		bs.open = bs.open.With(obs.Node)
@@ -240,40 +339,41 @@ func (p *TwoLevel) observeVMSP(bs *blockState, obs Observation) Outcome {
 	// were already scored; recording is scoreless.
 	if !bs.open.Empty() {
 		vec := Symbol{Type: MsgRead, Vec: bs.open}
-		p.learn(bs, vec)
+		p.learn(addr, bs, vec)
 		bs.open = 0
 	}
 	sym := Symbol{Type: obs.Type, Node: obs.Node}
-	out := p.scoreAndLearn(bs, sym)
+	out := p.scoreAndLearn(addr, bs, sym)
 	p.stats.add(out)
 	return out
 }
 
 // scoreAndLearn scores sym against the entry for the current history, then
 // records sym as that history's new prediction and pushes it.
-func (p *TwoLevel) scoreAndLearn(bs *blockState, sym Symbol) Outcome {
+func (p *TwoLevel) scoreAndLearn(addr mem.BlockAddr, bs *blockState, sym Symbol) Outcome {
 	out := Outcome{Tracked: true}
-	key := bs.key()
-	e, ok := bs.patterns[key]
-	if ok && e.pred.Valid() {
-		out.Predicted = true
-		e.uses++
-		if e.pred.Equal(sym) {
-			out.Correct = true
-			e.hits++
-			e.confUp()
-		} else {
-			e.confDown()
+	pk := patternKey{addr, bs.key}
+	idx, ok := p.patterns[pk]
+	if ok {
+		e := p.store.at(idx)
+		if e.pred.Valid() {
+			out.Predicted = true
+			e.uses++
+			if e.pred.Equal(sym) {
+				out.Correct = true
+				e.hits++
+				e.confUp()
+			} else {
+				e.confDown()
+			}
 		}
 		e.pred = sym
-	} else if ok {
-		e.pred = sym
 	} else {
-		e = &entry{pred: sym}
-		bs.patterns[key] = e
+		idx = p.store.alloc(sym)
+		p.patterns[pk] = idx
 	}
 	if sym.Type.IsWriteLike() {
-		bs.lastWriteEntry = e
+		bs.lastWrite = idx
 	}
 	bs.push(sym, p.depth)
 	return out
@@ -281,12 +381,12 @@ func (p *TwoLevel) scoreAndLearn(bs *blockState, sym Symbol) Outcome {
 
 // learn records sym as the successor of the current history without
 // scoring (used when closing VMSP read runs).
-func (p *TwoLevel) learn(bs *blockState, sym Symbol) {
-	key := bs.key()
-	if e, ok := bs.patterns[key]; ok {
-		e.pred = sym
+func (p *TwoLevel) learn(addr mem.BlockAddr, bs *blockState, sym Symbol) {
+	pk := patternKey{addr, bs.key}
+	if idx, ok := p.patterns[pk]; ok {
+		p.store.at(idx).pred = sym
 	} else {
-		bs.patterns[key] = &entry{pred: sym}
+		p.patterns[pk] = p.store.alloc(sym)
 	}
 	bs.push(sym, p.depth)
 }
@@ -294,12 +394,16 @@ func (p *TwoLevel) learn(bs *blockState, sym Symbol) {
 // PredictNext implements Predictor: the predicted successor of the
 // block's current (closed) history.
 func (p *TwoLevel) PredictNext(addr mem.BlockAddr) (Symbol, bool) {
-	bs := p.blocks[addr]
+	bs := p.lookup(addr)
 	if bs == nil {
 		return Symbol{}, false
 	}
-	e, ok := bs.patterns[bs.key()]
-	if !ok || !e.pred.Valid() || !p.confident(e) {
+	idx, ok := p.patterns[patternKey{addr, bs.key}]
+	if !ok {
+		return Symbol{}, false
+	}
+	e := p.store.at(idx)
+	if !e.pred.Valid() || !p.confident(e) {
 		return Symbol{}, false
 	}
 	return e.pred, true
@@ -315,34 +419,42 @@ func (p *TwoLevel) PredictNext(addr mem.BlockAddr) (Symbol, bool) {
 // paper's speculative DSM uses VMSP; chaining lets the benchmarks compare
 // speculation quality across predictors as an ablation.
 func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
-	bs := p.blocks[addr]
+	bs := p.lookup(addr)
 	if bs == nil {
 		return ReadPrediction{}, false
 	}
 	if p.kind == KindVMSP {
-		e, ok := bs.patterns[bs.key()]
-		if !ok || e.pred.Type != MsgRead || e.pred.Vec.Empty() || !p.confident(e) {
+		idx, ok := p.patterns[patternKey{addr, bs.key}]
+		if !ok {
 			return ReadPrediction{}, false
 		}
-		return ReadPrediction{Readers: e.pred.Vec, entries: []*entry{e}}, true
+		e := p.store.at(idx)
+		if e.pred.Type != MsgRead || e.pred.Vec.Empty() || !p.confident(e) {
+			return ReadPrediction{}, false
+		}
+		return ReadPrediction{Readers: e.pred.Vec, store: p.store, gen: p.store.gen, entries: []int32{idx}}, true
 	}
 
-	// Chain expansion over a scratch copy of the history.
-	hist := make([]Symbol, len(bs.hist))
-	copy(hist, bs.hist)
-	scratch := &blockState{hist: hist, patterns: bs.patterns}
-	var rp ReadPrediction
+	// Chain expansion over a stack copy of the packed history key (the
+	// old implementation cloned the whole blockState here).
+	key := bs.key
+	n := int(bs.n)
+	rp := ReadPrediction{store: p.store, gen: p.store.gen}
 	for i := 0; i < p.maxChain; i++ {
-		e, ok := scratch.patterns[scratch.key()]
-		if !ok || e.pred.Type != MsgRead || !e.pred.Valid() || !p.confident(e) {
+		idx, ok := p.patterns[patternKey{addr, key}]
+		if !ok {
+			break
+		}
+		e := p.store.at(idx)
+		if e.pred.Type != MsgRead || !e.pred.Valid() || !p.confident(e) {
 			break
 		}
 		if rp.Readers.Has(e.pred.Node) {
 			break
 		}
 		rp.Readers = rp.Readers.With(e.pred.Node)
-		rp.entries = append(rp.entries, e)
-		scratch.push(e.pred, p.depth)
+		rp.entries = append(rp.entries, idx)
+		n = key.push(e.pred, n, p.depth)
 	}
 	if rp.Readers.Empty() {
 		return ReadPrediction{}, false
@@ -356,22 +468,20 @@ func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
 // prediction is the read's successor; for VMSP the read only opened the
 // run, so the run is hypothetically closed (with reader included) first.
 func (p *TwoLevel) PredictsUpgradeBy(addr mem.BlockAddr, reader mem.NodeID) bool {
-	bs := p.blocks[addr]
+	bs := p.lookup(addr)
 	if bs == nil {
 		return false
 	}
-	var e *entry
-	var ok bool
+	key := bs.key
 	if p.kind == KindVMSP {
-		hist := make([]Symbol, len(bs.hist))
-		copy(hist, bs.hist)
-		scratch := &blockState{hist: hist, patterns: bs.patterns}
-		scratch.push(Symbol{Type: MsgRead, Vec: bs.open.With(reader)}, p.depth)
-		e, ok = scratch.patterns[scratch.key()]
-	} else {
-		e, ok = bs.patterns[bs.key()]
+		key.push(Symbol{Type: MsgRead, Vec: bs.open.With(reader)}, int(bs.n), p.depth)
 	}
-	if !ok || !e.pred.Valid() || !p.confident(e) {
+	idx, ok := p.patterns[patternKey{addr, key}]
+	if !ok {
+		return false
+	}
+	e := p.store.at(idx)
+	if !e.pred.Valid() || !p.confident(e) {
 		return false
 	}
 	return e.pred.Type.IsWriteLike() && e.pred.Node == reader
@@ -384,11 +494,11 @@ func (p *TwoLevel) SWIAllowed(addr mem.BlockAddr) bool {
 
 // SWIGuard implements Predictor.
 func (p *TwoLevel) SWIGuard(addr mem.BlockAddr) SWIGuard {
-	bs := p.blocks[addr]
-	if bs == nil {
+	bs := p.lookup(addr)
+	if bs == nil || bs.lastWrite == noEntry {
 		return SWIGuard{}
 	}
-	return SWIGuard{e: bs.lastWriteEntry}
+	return SWIGuard{store: p.store, idx: bs.lastWrite, gen: p.store.gen}
 }
 
 // AssumeReaders implements Predictor. For VMSP the forwarded readers join
@@ -404,16 +514,18 @@ func (p *TwoLevel) AssumeReaders(addr mem.BlockAddr, vec mem.ReaderVec) {
 		bs.open |= vec
 		return
 	}
-	vec.ForEach(func(n mem.NodeID) {
-		p.learn(bs, Symbol{Type: MsgRead, Node: n})
-	})
+	for w := vec; !w.Empty(); {
+		n := w.Lowest()
+		w = w.Without(n)
+		p.learn(addr, bs, Symbol{Type: MsgRead, Node: n})
+	}
 }
 
 // RetractReader implements Predictor. Only the VMSP open run can be
 // retracted; for MSP/Cosmos the pushed history symbol is left in place
 // (the pattern entries themselves are fixed via ReadPrediction.Prune).
 func (p *TwoLevel) RetractReader(addr mem.BlockAddr, n mem.NodeID) {
-	bs := p.blocks[addr]
+	bs := p.lookup(addr)
 	if bs == nil {
 		return
 	}
@@ -422,11 +534,11 @@ func (p *TwoLevel) RetractReader(addr mem.BlockAddr, n mem.NodeID) {
 
 // Census implements Predictor.
 func (p *TwoLevel) Census() Census {
-	c := Census{HistoryDepth: p.depth, Blocks: len(p.blocks)}
-	for _, bs := range p.blocks {
-		c.Entries += len(bs.patterns)
+	return Census{
+		HistoryDepth: p.depth,
+		Blocks:       len(p.blocks),
+		Entries:      len(p.patterns),
 	}
-	return c
 }
 
 // BytesPerBlock evaluates the paper's Table 4 storage formulas for a

@@ -292,10 +292,10 @@ func (m *Machine) Run(programs []Program) (*Result, error) {
 	}
 	m.procs = make([]*proc, m.cfg.Nodes)
 	for i := range programs {
-		p := &proc{m: m, id: mem.NodeID(i), prog: programs[i]}
+		p := newProc(m, mem.NodeID(i), programs[i])
 		m.procs[i] = p
 		m.running++
-		m.kernel.At(0, p.step)
+		m.kernel.At(0, p.stepFn)
 	}
 	executed := m.kernel.Run(m.cfg.MaxEvents)
 	if executed >= m.cfg.MaxEvents {

@@ -30,6 +30,20 @@ type proc struct {
 	finished   bool
 	finishTime sim.Cycle
 	waitStart  sim.Cycle // barrier/lock arrival time
+
+	// stepFn and accessDone are method values bound once at construction:
+	// a method-value expression like p.step allocates a closure at every
+	// evaluation, and step/access completion run once per program op.
+	stepFn     func()
+	accessDone func(protocol.AccessOutcome)
+}
+
+// newProc builds a processor with its event callbacks pre-bound.
+func newProc(m *Machine, id mem.NodeID, prog Program) *proc {
+	p := &proc{m: m, id: id, prog: prog}
+	p.stepFn = p.step
+	p.accessDone = p.onAccessDone
+	return p
 }
 
 func (p *proc) step() {
@@ -47,26 +61,10 @@ func (p *proc) step() {
 	switch op.Kind {
 	case OpCompute:
 		p.compute += op.Cycles
-		p.m.kernel.After(op.Cycles, p.step)
+		p.m.kernel.After(op.Cycles, p.stepFn)
 	case OpRead, OpWrite:
 		p.accesses++
-		p.m.sys.Node(p.id).Access(op.Kind == OpWrite, op.Addr, func(out protocol.AccessOutcome) {
-			switch out.Class {
-			case protocol.ClassHit:
-				p.hits++
-				p.compute += out.Latency
-			case protocol.ClassSpecHit:
-				p.specHits++
-				p.compute += out.Latency
-			case protocol.ClassLocal:
-				p.locals++
-				p.compute += out.Latency
-			case protocol.ClassProtocol:
-				p.remotes++
-				p.reqWait += out.Latency
-			}
-			p.step()
-		})
+		p.m.sys.Node(p.id).Access(op.Kind == OpWrite, op.Addr, p.accessDone)
 	case OpBarrier:
 		p.waitStart = p.m.kernel.Now()
 		p.m.barrier(op.ID).arrive(p)
@@ -79,6 +77,26 @@ func (p *proc) step() {
 	default:
 		panic(fmt.Sprintf("machine: unknown op kind %v", op.Kind))
 	}
+}
+
+// onAccessDone classifies a completed memory access and resumes the
+// program.
+func (p *proc) onAccessDone(out protocol.AccessOutcome) {
+	switch out.Class {
+	case protocol.ClassHit:
+		p.hits++
+		p.compute += out.Latency
+	case protocol.ClassSpecHit:
+		p.specHits++
+		p.compute += out.Latency
+	case protocol.ClassLocal:
+		p.locals++
+		p.compute += out.Latency
+	case protocol.ClassProtocol:
+		p.remotes++
+		p.reqWait += out.Latency
+	}
+	p.step()
 }
 
 // barrier is a centralized all-processor barrier. Waiting time counts as
@@ -112,7 +130,7 @@ func (b *barrier) tryRelease() {
 	b.waiters = nil
 	for _, w := range ws {
 		w.sync += now - w.waitStart
-		b.m.kernel.After(b.m.cfg.BarrierExit, w.step)
+		b.m.kernel.After(b.m.cfg.BarrierExit, w.stepFn)
 	}
 }
 
@@ -145,7 +163,7 @@ func (l *lock) acquire(p *proc) {
 	if !l.held {
 		l.held = true
 		l.owner = p.id
-		l.m.kernel.After(l.m.cfg.LockTransfer, p.step)
+		l.m.kernel.After(l.m.cfg.LockTransfer, p.stepFn)
 		return
 	}
 	l.queue = append(l.queue, p)
@@ -164,5 +182,5 @@ func (l *lock) release(p *proc) {
 	l.owner = next.id
 	now := l.m.kernel.Now()
 	next.sync += now - next.waitStart
-	l.m.kernel.After(l.m.cfg.LockTransfer, next.step)
+	l.m.kernel.After(l.m.cfg.LockTransfer, next.stepFn)
 }

@@ -123,6 +123,18 @@ func (v ReaderVec) Empty() bool { return v == 0 }
 // Count returns the number of nodes in the vector.
 func (v ReaderVec) Count() int { return bits.OnesCount64(uint64(v)) }
 
+// Lowest returns the smallest member node. It is the zero-allocation
+// iteration primitive for hot paths (ForEach costs a closure):
+//
+//	for w := v; !w.Empty(); {
+//		n := w.Lowest()
+//		w = w.Without(n)
+//		...
+//	}
+//
+// Lowest of the empty vector returns MaxNodes (out of range).
+func (v ReaderVec) Lowest() NodeID { return NodeID(bits.TrailingZeros64(uint64(v))) }
+
 // Nodes returns the member nodes in ascending order.
 func (v ReaderVec) Nodes() []NodeID {
 	out := make([]NodeID, 0, v.Count())

@@ -9,6 +9,11 @@
 // cycles; messages queue FIFO when the interface is busy. This queueing is
 // one of the two sources of message re-ordering that perturb pattern-based
 // predictors (the other is the blocking directory in internal/protocol).
+//
+// The network is generic over the payload type so protocol messages travel
+// as concrete values instead of being boxed into interfaces, and every
+// in-flight message rides a pooled carrier whose kernel callbacks are
+// bound once — steady-state sends do not allocate.
 package network
 
 import (
@@ -36,15 +41,59 @@ func DefaultConfig() Config {
 }
 
 // Handler consumes a delivered message at a node.
-type Handler func(src mem.NodeID, payload any)
+type Handler[T any] func(src mem.NodeID, payload T)
+
+// inflight carries one message through its arrival and delivery events.
+// Carriers are pooled per network; arrive/deliver are method-value
+// closures created once per carrier and reused for its whole lifetime.
+type inflight[T any] struct {
+	nw       *Network[T]
+	src, dst mem.NodeID
+	payload  T
+	// counted marks messages that entered through Send (and so count in
+	// the delivered statistic); DeliverLocal bypasses the NI model and the
+	// network counters, like the node-internal hop it models.
+	counted bool
+	arrive  func()
+	deliver func()
+}
+
+func (m *inflight[T]) onArrive() {
+	nw := m.nw
+	begin := nw.kernel.Now()
+	if nw.recvFree[m.dst] > begin {
+		nw.recvQueueCycles += nw.recvFree[m.dst] - begin
+		begin = nw.recvFree[m.dst]
+	}
+	ready := begin + nw.cfg.RecvOccupancy
+	nw.recvFree[m.dst] = ready
+	nw.kernel.At(ready, m.deliver)
+}
+
+func (m *inflight[T]) onDeliver() {
+	nw := m.nw
+	if m.counted {
+		nw.delivered++
+	}
+	h := nw.handlers[m.dst]
+	if h == nil {
+		panic(fmt.Sprintf("network: no handler for node %d", m.dst))
+	}
+	src, payload := m.src, m.payload
+	var zero T
+	m.payload = zero
+	nw.pool.Put(m)
+	h(src, payload)
+}
 
 // Network connects n nodes through the simulated fabric.
-type Network struct {
+type Network[T any] struct {
 	cfg      Config
 	kernel   *sim.Kernel
-	handlers []Handler
+	handlers []Handler[T]
 	sendFree []sim.Cycle // next cycle each sender NI is free
 	recvFree []sim.Cycle // next cycle each receiver NI is free
+	pool     sim.FreeList[inflight[T]]
 
 	// Stats
 	sent      uint64
@@ -56,62 +105,66 @@ type Network struct {
 }
 
 // New creates a network for nodes 0..n-1 on the given kernel.
-func New(k *sim.Kernel, n int, cfg Config) *Network {
+func New[T any](k *sim.Kernel, n int, cfg Config) *Network[T] {
 	if n <= 0 || n > mem.MaxNodes {
 		panic(fmt.Sprintf("network: invalid node count %d", n))
 	}
-	return &Network{
+	return &Network[T]{
 		cfg:      cfg,
 		kernel:   k,
-		handlers: make([]Handler, n),
+		handlers: make([]Handler[T], n),
 		sendFree: make([]sim.Cycle, n),
 		recvFree: make([]sim.Cycle, n),
 	}
 }
 
 // Nodes returns the number of attached nodes.
-func (nw *Network) Nodes() int { return len(nw.handlers) }
+func (nw *Network[T]) Nodes() int { return len(nw.handlers) }
 
 // SetHandler registers the message handler for node id. Must be called for
 // every node before any message addressed to it is delivered.
-func (nw *Network) SetHandler(id mem.NodeID, h Handler) {
+func (nw *Network[T]) SetHandler(id mem.NodeID, h Handler[T]) {
 	nw.handlers[id] = h
+}
+
+// get returns a carrier from the pool, creating (and binding its event
+// closures for) a new one only when the pool is empty.
+func (nw *Network[T]) get(src, dst mem.NodeID, payload T, counted bool) *inflight[T] {
+	m, ok := nw.pool.Get()
+	if !ok {
+		m = &inflight[T]{nw: nw}
+		m.arrive = m.onArrive
+		m.deliver = m.onDeliver
+	}
+	m.src, m.dst, m.payload, m.counted = src, dst, payload, counted
+	return m
 }
 
 // Send transmits payload from src to dst, modeling sender NI occupancy,
 // flight latency, and receiver NI occupancy. Delivery invokes dst's
 // handler. Sending to self is allowed (some protocol replies are local)
 // and still pays NI costs, modeling the loopback through the DSM board.
-func (nw *Network) Send(src, dst mem.NodeID, payload any) {
-	now := nw.kernel.Now()
-	start := now
+func (nw *Network[T]) Send(src, dst mem.NodeID, payload T) {
+	start := nw.kernel.Now()
 	if nw.sendFree[int(src)] > start {
 		nw.sendQueueCycles += nw.sendFree[int(src)] - start
 		start = nw.sendFree[int(src)]
 	}
 	done := start + nw.cfg.SendOccupancy
 	nw.sendFree[int(src)] = done
-	arrive := done + nw.cfg.FlightLatency
 	nw.sent++
 
-	nw.kernel.At(arrive, func() {
-		at := nw.kernel.Now()
-		begin := at
-		if nw.recvFree[int(dst)] > begin {
-			nw.recvQueueCycles += nw.recvFree[int(dst)] - begin
-			begin = nw.recvFree[int(dst)]
-		}
-		ready := begin + nw.cfg.RecvOccupancy
-		nw.recvFree[int(dst)] = ready
-		nw.kernel.At(ready, func() {
-			nw.delivered++
-			h := nw.handlers[dst]
-			if h == nil {
-				panic(fmt.Sprintf("network: no handler for node %d", dst))
-			}
-			h(src, payload)
-		})
-	})
+	m := nw.get(src, dst, payload, true)
+	nw.kernel.At(done+nw.cfg.FlightLatency, m.arrive)
+}
+
+// DeliverLocal hands payload to dst's handler after delay, bypassing the
+// NI contention model and the network counters — the node-internal hop
+// between co-located controllers. It exists here so node-internal traffic
+// shares the pooled carrier path.
+func (nw *Network[T]) DeliverLocal(src, dst mem.NodeID, delay sim.Cycle, payload T) {
+	m := nw.get(src, dst, payload, false)
+	nw.kernel.At(nw.kernel.Now()+delay, m.deliver)
 }
 
 // Stats reports message and contention counters.
@@ -123,7 +176,7 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the network counters.
-func (nw *Network) Stats() Stats {
+func (nw *Network[T]) Stats() Stats {
 	return Stats{
 		Sent:            nw.sent,
 		Delivered:       nw.delivered,
@@ -133,6 +186,6 @@ func (nw *Network) Stats() Stats {
 }
 
 // MinLatency returns the no-contention latency from send to delivery.
-func (nw *Network) MinLatency() sim.Cycle {
+func (nw *Network[T]) MinLatency() sim.Cycle {
 	return nw.cfg.SendOccupancy + nw.cfg.FlightLatency + nw.cfg.RecvOccupancy
 }

@@ -7,10 +7,10 @@ import (
 	"specdsm/internal/sim"
 )
 
-func testNet(t *testing.T, n int) (*sim.Kernel, *Network) {
+func testNet(t *testing.T, n int) (*sim.Kernel, *Network[any]) {
 	t.Helper()
 	k := sim.NewKernel()
-	nw := New(k, n, DefaultConfig())
+	nw := New[any](k, n, DefaultConfig())
 	return k, nw
 }
 
@@ -151,7 +151,7 @@ func TestInvalidNodeCountPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(sim.NewKernel(), 0, DefaultConfig())
+	New[any](sim.NewKernel(), 0, DefaultConfig())
 }
 
 // Messages re-order across distinct sender NIs under load: a heavily queued

@@ -34,7 +34,8 @@ type line struct {
 // invalOnFill implements the standard MSHR rule for an invalidation that
 // arrives while the fill is in flight: the data is used exactly once to
 // complete the access (the read is ordered before the conflicting write)
-// and the line is then dropped.
+// and the line is then dropped. Stored by value in the pend map so a miss
+// allocates nothing.
 type pendingAccess struct {
 	isWrite     bool
 	start       sim.Cycle
@@ -42,12 +43,31 @@ type pendingAccess struct {
 	invalOnFill bool
 }
 
+// doneEvent is a pooled deferred completion callback: every access ends
+// with "invoke done(outcome) after a latency", and hits are the most
+// frequent operation in the whole simulator, so this path must not
+// allocate a closure per access.
+type doneEvent struct {
+	c   *cache
+	fn  func(AccessOutcome)
+	out AccessOutcome
+	run func()
+}
+
+func (ev *doneEvent) fire() {
+	c, fn, out := ev.c, ev.fn, ev.out
+	ev.fn = nil
+	c.donePool.Put(ev)
+	fn(out)
+}
+
 // cache is the processor-side controller of one node.
 type cache struct {
-	n     *Node
-	lines map[mem.BlockAddr]*line
-	pend  map[mem.BlockAddr]*pendingAccess
-	stats CacheStats
+	n        *Node
+	lines    map[mem.BlockAddr]*line
+	pend     map[mem.BlockAddr]pendingAccess
+	stats    CacheStats
+	donePool sim.FreeList[doneEvent]
 	// Finite-cache mode state.
 	valid    int    // current valid-line count
 	useClock uint64 // LRU timestamp source
@@ -61,7 +81,7 @@ func newCache(n *Node) *cache {
 	return &cache{
 		n:            n,
 		lines:        make(map[mem.BlockAddr]*line),
-		pend:         make(map[mem.BlockAddr]*pendingAccess),
+		pend:         make(map[mem.BlockAddr]pendingAccess),
 		evictPending: make(map[mem.BlockAddr]bool),
 	}
 }
@@ -73,6 +93,17 @@ func (c *cache) line(addr mem.BlockAddr) *line {
 		c.lines[addr] = l
 	}
 	return l
+}
+
+// doneAfter schedules done(out) after delay cycles via the pooled event.
+func (c *cache) doneAfter(delay sim.Cycle, done func(AccessOutcome), out AccessOutcome) {
+	ev, ok := c.donePool.Get()
+	if !ok {
+		ev = &doneEvent{c: c}
+		ev.run = ev.fire
+	}
+	ev.fn, ev.out = done, out
+	c.n.sys.kernel.After(delay, ev.run)
 }
 
 // touch stamps the line for LRU.
@@ -133,15 +164,12 @@ func (c *cache) evictOne(keep mem.BlockAddr) bool {
 	if victim.state == lineExclusive {
 		c.stats.EvictionWritebacks++
 		c.evictPending[victimAddr] = true
-		wb := writebackMsg{
+		c.n.sys.routeAfter(c.n.sys.timing.CacheAccess, c.n.id, victimAddr.Home(), Msg{
+			Kind:      MsgWriteback,
 			Addr:      victimAddr,
 			Version:   victim.version,
 			Written:   victim.written,
 			Voluntary: true,
-		}
-		home := victimAddr.Home()
-		c.n.sys.kernel.After(c.n.sys.timing.CacheAccess, func() {
-			c.n.sys.route(c.n.id, home, wb)
 		})
 	}
 	c.drop(victim)
@@ -172,9 +200,7 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 			l.written = true
 		}
 		c.n.sys.checkObserved(c.n.id, addr, l.version)
-		k.After(t.HitLatency, func() {
-			done(AccessOutcome{Class: class, Latency: t.HitLatency})
-		})
+		c.doneAfter(t.HitLatency, done, AccessOutcome{Class: class, Latency: t.HitLatency})
 		return
 	}
 
@@ -198,15 +224,13 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 			c.touch(nl)
 			c.stats.LocalAccesses++
 			c.n.sys.checkObserved(c.n.id, addr, version)
-			k.After(t.LocalMem, func() {
-				done(AccessOutcome{Class: ClassLocal, Latency: t.LocalMem})
-			})
+			c.doneAfter(t.LocalMem, done, AccessOutcome{Class: ClassLocal, Latency: t.LocalMem})
 			return
 		}
 	}
 
 	// Coherence transaction required.
-	if c.pend[addr] != nil {
+	if _, dup := c.pend[addr]; dup {
 		panic(fmt.Sprintf("protocol: node %d duplicate outstanding access to %v", c.n.id, addr))
 	}
 	kind := mem.ReqRead
@@ -222,41 +246,34 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 	} else {
 		c.stats.ProtocolReads++
 	}
-	c.pend[addr] = &pendingAccess{isWrite: isWrite, start: k.Now(), done: done}
-	req := reqMsg{Kind: kind, Addr: addr}
-	var hint *swiHintMsg
+	c.pend[addr] = pendingAccess{isWrite: isWrite, start: k.Now(), done: done}
+	c.n.sys.routeAfter(t.BusOverhead, c.n.id, home, Msg{Kind: MsgReq, Req: kind, Addr: addr})
 	if isWrite && c.n.opts.EnableSWI && c.n.opts.Active != nil {
 		if prev, candidate := c.n.ewi.Update(c.n.id, addr); candidate {
-			hint = &swiHintMsg{Addr: prev}
+			c.n.sys.routeAfter(t.BusOverhead, c.n.id, prev.Home(), Msg{Kind: MsgSWIHint, Addr: prev})
 		}
 	}
-	k.After(t.BusOverhead, func() {
-		c.n.sys.route(c.n.id, home, req)
-		if hint != nil {
-			c.n.sys.route(c.n.id, hint.Addr.Home(), *hint)
-		}
-	})
 }
 
 // deliver dispatches a protocol message addressed to this node's cache.
-func (c *cache) deliver(src mem.NodeID, msg any) {
-	switch m := msg.(type) {
-	case invalMsg:
+func (c *cache) deliver(src mem.NodeID, m Msg) {
+	switch m.Kind {
+	case MsgInval:
 		c.handleInval(m)
-	case recallMsg:
+	case MsgRecall:
 		c.handleRecall(m)
-	case dataMsg:
+	case MsgData:
 		c.handleData(m)
-	case upgradeAckMsg:
+	case MsgUpgradeAck:
 		c.handleUpgradeAck(m)
-	case specDataMsg:
+	case MsgSpecData:
 		c.handleSpecData(m)
 	default:
-		panic(fmt.Sprintf("protocol: cache %d got unknown message %T", c.n.id, msg))
+		panic(fmt.Sprintf("protocol: cache %d got unexpected message %v", c.n.id, m.Kind))
 	}
 }
 
-func (c *cache) handleInval(m invalMsg) {
+func (c *cache) handleInval(m Msg) {
 	t := c.n.sys.timing
 	l := c.lines[m.Addr]
 	c.stats.InvalsReceived++
@@ -271,17 +288,16 @@ func (c *cache) handleInval(m invalMsg) {
 		// No valid copy: either a speculative copy we dropped, or the fill
 		// for our outstanding read is still in flight. In the latter case
 		// the data will be used once and discarded.
-		if p := c.pend[m.Addr]; p != nil && !p.isWrite {
+		if p, ok := c.pend[m.Addr]; ok && !p.isWrite {
 			p.invalOnFill = true
+			c.pend[m.Addr] = p
 		}
 	}
-	ack := ackInvMsg{Addr: m.Addr, SpecUnused: specUnused}
-	c.n.sys.kernel.After(t.CacheAccess, func() {
-		c.n.sys.route(c.n.id, m.Addr.Home(), ack)
-	})
+	c.n.sys.routeAfter(t.CacheAccess, c.n.id, m.Addr.Home(),
+		Msg{Kind: MsgAckInv, Addr: m.Addr, SpecUnused: specUnused})
 }
 
-func (c *cache) handleRecall(m recallMsg) {
+func (c *cache) handleRecall(m Msg) {
 	// A recall that crossed our voluntary eviction writeback is already
 	// answered by that writeback (finite-cache mode).
 	if c.evictPending[m.Addr] {
@@ -294,17 +310,15 @@ func (c *cache) handleRecall(m recallMsg) {
 		panic(fmt.Sprintf("protocol: recall for non-exclusive line %v at node %d", m.Addr, c.n.id))
 	}
 	c.stats.RecallsReceived++
-	wb := writebackMsg{Addr: m.Addr, Version: l.version, SWI: m.SWI, Written: l.written}
+	wb := Msg{Kind: MsgWriteback, Addr: m.Addr, Version: l.version, SWI: m.SWI, Written: l.written}
 	c.drop(l)
-	c.n.sys.kernel.After(t.CacheAccess, func() {
-		c.n.sys.route(c.n.id, m.Addr.Home(), wb)
-	})
+	c.n.sys.routeAfter(t.CacheAccess, c.n.id, m.Addr.Home(), wb)
 }
 
-func (c *cache) handleData(m dataMsg) {
+func (c *cache) handleData(m Msg) {
 	t := c.n.sys.timing
-	p := c.pend[m.Addr]
-	if p == nil {
+	p, ok := c.pend[m.Addr]
+	if !ok {
 		panic(fmt.Sprintf("protocol: unsolicited data for %v at node %d", m.Addr, c.n.id))
 	}
 	delete(c.pend, m.Addr)
@@ -330,15 +344,13 @@ func (c *cache) handleData(m dataMsg) {
 		c.drop(l)
 	}
 	latency := c.n.sys.kernel.Now() + t.FillOverhead - p.start
-	c.n.sys.kernel.After(t.FillOverhead, func() {
-		p.done(AccessOutcome{Class: ClassProtocol, Latency: latency})
-	})
+	c.doneAfter(t.FillOverhead, p.done, AccessOutcome{Class: ClassProtocol, Latency: latency})
 }
 
-func (c *cache) handleUpgradeAck(m upgradeAckMsg) {
+func (c *cache) handleUpgradeAck(m Msg) {
 	t := c.n.sys.timing
-	p := c.pend[m.Addr]
-	if p == nil || !p.isWrite {
+	p, ok := c.pend[m.Addr]
+	if !ok || !p.isWrite {
 		panic(fmt.Sprintf("protocol: unsolicited upgrade ack for %v at node %d", m.Addr, c.n.id))
 	}
 	l := c.lines[m.Addr]
@@ -353,18 +365,16 @@ func (c *cache) handleUpgradeAck(m upgradeAckMsg) {
 	c.touch(l)
 	c.n.sys.checkObserved(c.n.id, m.Addr, m.Version)
 	latency := c.n.sys.kernel.Now() + t.FillOverhead - p.start
-	c.n.sys.kernel.After(t.FillOverhead, func() {
-		p.done(AccessOutcome{Class: ClassProtocol, Latency: latency})
-	})
+	c.doneAfter(t.FillOverhead, p.done, AccessOutcome{Class: ClassProtocol, Latency: latency})
 }
 
 // handleSpecData installs a speculatively forwarded read-only copy, or
 // drops it under the paper's race rule: "upon a race between a
 // speculatively-sent block and an in-flight read request for the block,
 // the DSM node receiving the block drops the speculated message."
-func (c *cache) handleSpecData(m specDataMsg) {
+func (c *cache) handleSpecData(m Msg) {
 	l := c.lines[m.Addr]
-	if c.pend[m.Addr] != nil || (l != nil && l.state != lineInvalid) {
+	if _, out := c.pend[m.Addr]; out || (l != nil && l.state != lineInvalid) {
 		c.stats.SpecDropped++
 		return
 	}

@@ -89,6 +89,54 @@ type dirEntry struct {
 	specUpgraded bool
 }
 
+// popWait removes and returns the oldest queued request, shifting in
+// place so the slice's capacity is reused instead of walking off its
+// backing array.
+func (e *dirEntry) popWait() queuedReq {
+	q := e.waitq[0]
+	n := copy(e.waitq, e.waitq[1:])
+	e.waitq = e.waitq[:n]
+	return q
+}
+
+// inMsg is one directory-bound message waiting behind the occupancy
+// model.
+type inMsg struct {
+	src mem.NodeID
+	msg Msg
+}
+
+// grantEvent is a pooled deferred grant: after the home memory access it
+// optionally sends a data grant, optionally runs speculative read
+// forwarding, and always finishes the entry's transaction. It replaces
+// the per-grant closures that previously dominated directory-side
+// allocation.
+type grantEvent struct {
+	d         *directory
+	addr      mem.BlockAddr
+	e         *dirEntry
+	dst       mem.NodeID
+	msg       Msg
+	sendData  bool
+	doFR      bool          // run specForward after the send
+	frExclude mem.ReaderVec // nodes excluded from the forward
+	frSWI     bool          // forward was triggered by SWI (stats)
+	run       func()
+}
+
+func (g *grantEvent) fire() {
+	d, addr, e := g.d, g.addr, g.e
+	if g.sendData {
+		d.n.sys.route(d.n.id, g.dst, g.msg)
+	}
+	if g.doFR {
+		d.specForward(addr, e, g.frExclude, g.frSWI)
+	}
+	g.e = nil
+	d.grantPool.Put(g)
+	d.finish(addr, e)
+}
+
 // directory is the home-side controller of one node.
 type directory struct {
 	n       *Node
@@ -96,13 +144,22 @@ type directory struct {
 	// free serializes directory occupancy, modeling queueing delay.
 	free  sim.Cycle
 	stats DirStats
+	// inq is the FIFO of delivered-but-unprocessed messages; processNext
+	// is the single bound dispatch closure scheduled once per message, so
+	// deliver allocates nothing in steady state.
+	inq         []inMsg
+	inqHead     int
+	processNext func()
+	grantPool   sim.FreeList[grantEvent]
 }
 
 func newDirectory(n *Node) *directory {
-	return &directory{
+	d := &directory{
 		n:       n,
 		entries: make(map[mem.BlockAddr]*dirEntry),
 	}
+	d.processNext = d.dispatch
+	return d
 }
 
 func (d *directory) entry(addr mem.BlockAddr) *dirEntry {
@@ -118,32 +175,55 @@ func (d *directory) entry(addr mem.BlockAddr) *dirEntry {
 }
 
 // deliver enqueues a directory-bound message behind the directory's
-// occupancy; messages are processed strictly in arrival order.
-func (d *directory) deliver(src mem.NodeID, msg any) {
+// occupancy; messages are processed strictly in arrival order. The
+// occupancy horizon is monotonic and every queued message gets exactly
+// one dispatch event, so the FIFO pop in dispatch sees messages in the
+// same order they were delivered here.
+func (d *directory) deliver(src mem.NodeID, msg Msg) {
 	k := d.n.sys.kernel
 	start := k.Now()
 	if d.free > start {
 		start = d.free
 	}
 	d.free = start + d.n.sys.timing.DirOccupancy
-	k.At(d.free, func() { d.process(src, msg) })
+	d.inq = append(d.inq, inMsg{src: src, msg: msg})
+	k.At(d.free, d.processNext)
 }
 
-func (d *directory) process(src mem.NodeID, msg any) {
-	switch m := msg.(type) {
-	case reqMsg:
-		d.processRequest(src, m)
-	case ackInvMsg:
-		d.processAck(src, m)
-	case writebackMsg:
+// dispatch pops and processes the oldest undelivered message.
+func (d *directory) dispatch() {
+	m := d.inq[d.inqHead]
+	d.inq[d.inqHead] = inMsg{}
+	d.inqHead++
+	switch {
+	case d.inqHead == len(d.inq):
+		d.inq = d.inq[:0]
+		d.inqHead = 0
+	case d.inqHead >= 32 && d.inqHead*2 >= len(d.inq):
+		// Compact a persistently backlogged queue so its memory tracks
+		// peak depth, not total messages processed.
+		n := copy(d.inq, d.inq[d.inqHead:])
+		d.inq = d.inq[:n]
+		d.inqHead = 0
+	}
+	d.process(m.src, m.msg)
+}
+
+func (d *directory) process(src mem.NodeID, m Msg) {
+	switch m.Kind {
+	case MsgReq:
+		d.processRequest(src, m.Req, m.Addr)
+	case MsgAckInv:
+		d.processAck(src, m.Addr, m.SpecUnused)
+	case MsgWriteback:
 		d.processWriteback(src, m)
-	case swiHintMsg:
+	case MsgSWIHint:
 		// §4.1: the writer's node signals it is probably done with Addr.
 		if d.n.opts.EnableSWI {
 			d.maybeSWI(m.Addr, src)
 		}
 	default:
-		panic(fmt.Sprintf("protocol: directory %d got unknown message %T", d.n.id, msg))
+		panic(fmt.Sprintf("protocol: directory %d got unexpected message %v", d.n.id, m.Kind))
 	}
 }
 
@@ -158,8 +238,8 @@ func (d *directory) observe(addr mem.BlockAddr, t core.MsgType, node mem.NodeID)
 	}
 }
 
-func (d *directory) processRequest(src mem.NodeID, m reqMsg) {
-	switch m.Kind {
+func (d *directory) processRequest(src mem.NodeID, kind mem.ReqKind, addr mem.BlockAddr) {
+	switch kind {
 	case mem.ReqRead:
 		d.stats.Reads++
 	case mem.ReqWrite:
@@ -167,15 +247,15 @@ func (d *directory) processRequest(src mem.NodeID, m reqMsg) {
 	case mem.ReqUpgrade:
 		d.stats.Upgrades++
 	}
-	d.observe(m.Addr, core.ReqMsgType(m.Kind), src)
+	d.observe(addr, core.ReqMsgType(kind), src)
 
-	e := d.entry(m.Addr)
+	e := d.entry(addr)
 	if e.tr != nil {
 		d.stats.QueuedReqs++
-		e.waitq = append(e.waitq, queuedReq{kind: m.Kind, src: src})
+		e.waitq = append(e.waitq, queuedReq{kind: kind, src: src})
 		return
 	}
-	d.serve(m.Addr, e, m.Kind, src)
+	d.serve(addr, e, kind, src)
 }
 
 // checkSWIWatch resolves the premature-invalidation watch on the first
@@ -220,6 +300,20 @@ func (d *directory) serve(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind, src
 	}
 }
 
+// grantAfter schedules a pooled grantEvent after the given delay.
+func (d *directory) grantAfter(delay sim.Cycle, g grantEvent) {
+	ev, ok := d.grantPool.Get()
+	if !ok {
+		ev = &grantEvent{}
+		ev.run = ev.fire
+	}
+	run := ev.run
+	*ev = g
+	ev.run = run
+	ev.d = d
+	d.n.sys.kernel.After(delay, ev.run)
+}
+
 func (d *directory) serveRead(addr mem.BlockAddr, e *dirEntry, src mem.NodeID) {
 	t := d.n.sys.timing
 	switch e.state {
@@ -235,14 +329,15 @@ func (d *directory) serveRead(addr mem.BlockAddr, e *dirEntry, src mem.NodeID) {
 		}
 		e.state = dirShared
 		e.sharers = e.sharers.With(src)
-		v := e.version
 		e.tr = &trans{kind: transGrant, requester: src}
-		d.n.sys.kernel.After(t.MemAccess, func() {
-			d.n.sys.route(d.n.id, src, dataMsg{Addr: addr, Version: v, Excl: false})
-			if phaseStart && d.n.opts.EnableFR {
-				d.specForward(addr, e, mem.VecOf(src), false)
-			}
-			d.finish(addr, e)
+		d.grantAfter(t.MemAccess, grantEvent{
+			addr:      addr,
+			e:         e,
+			dst:       src,
+			msg:       Msg{Kind: MsgData, Addr: addr, Version: e.version},
+			sendData:  true,
+			doFR:      phaseStart && d.n.opts.EnableFR,
+			frExclude: mem.VecOf(src),
 		})
 	case dirExclusive:
 		if e.owner == src {
@@ -250,7 +345,7 @@ func (d *directory) serveRead(addr mem.BlockAddr, e *dirEntry, src mem.NodeID) {
 		}
 		e.tr = &trans{kind: transReadRecall, requester: src, reqKind: mem.ReqRead}
 		d.stats.RecallsSent++
-		d.n.sys.route(d.n.id, e.owner, recallMsg{Addr: addr})
+		d.n.sys.route(d.n.id, e.owner, Msg{Kind: MsgRecall, Addr: addr})
 	}
 }
 
@@ -289,17 +384,19 @@ func (d *directory) serveWrite(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind
 			swiVerify:    verify,
 			swiVerifyOn:  verifyOn,
 		}
-		others.ForEach(func(q mem.NodeID) {
+		for w := others; !w.Empty(); {
+			q := w.Lowest()
+			w = w.Without(q)
 			d.stats.InvalsSent++
-			d.n.sys.route(d.n.id, q, invalMsg{Addr: addr})
-		})
+			d.n.sys.route(d.n.id, q, Msg{Kind: MsgInval, Addr: addr})
+		}
 	case dirExclusive:
 		if e.owner == src {
 			panic(fmt.Sprintf("protocol: owner %d re-requesting write for %v", src, addr))
 		}
 		e.tr = &trans{kind: transWriteRecall, requester: src, reqKind: kind}
 		d.stats.RecallsSent++
-		d.n.sys.route(d.n.id, e.owner, recallMsg{Addr: addr})
+		d.n.sys.route(d.n.id, e.owner, Msg{Kind: MsgRecall, Addr: addr})
 	}
 }
 
@@ -317,14 +414,17 @@ func (d *directory) grantExclusive(addr mem.BlockAddr, e *dirEntry, src mem.Node
 	d.n.sys.noteVersion(addr, v)
 	if viaUpgradeAck {
 		d.stats.UpgradeGrants++
-		d.n.sys.route(d.n.id, src, upgradeAckMsg{Addr: addr, Version: v})
+		d.n.sys.route(d.n.id, src, Msg{Kind: MsgUpgradeAck, Addr: addr, Version: v})
 		d.finish(addr, e)
 		return
 	}
 	e.tr = &trans{kind: transGrant, requester: src}
-	d.n.sys.kernel.After(t.MemAccess, func() {
-		d.n.sys.route(d.n.id, src, dataMsg{Addr: addr, Version: v, Excl: true})
-		d.finish(addr, e)
+	d.grantAfter(t.MemAccess, grantEvent{
+		addr:     addr,
+		e:        e,
+		dst:      src,
+		msg:      Msg{Kind: MsgData, Addr: addr, Version: v, Excl: true},
+		sendData: true,
 	})
 }
 
@@ -333,25 +433,24 @@ func (d *directory) grantExclusive(addr mem.BlockAddr, e *dirEntry, src mem.Node
 func (d *directory) finish(addr mem.BlockAddr, e *dirEntry) {
 	e.tr = nil
 	for e.tr == nil && len(e.waitq) > 0 {
-		q := e.waitq[0]
-		e.waitq = e.waitq[1:]
+		q := e.popWait()
 		d.serve(addr, e, q.kind, q.src)
 	}
 }
 
-func (d *directory) processAck(src mem.NodeID, m ackInvMsg) {
-	d.observe(m.Addr, core.MsgAckInv, src)
-	e := d.entry(m.Addr)
+func (d *directory) processAck(src mem.NodeID, addr mem.BlockAddr, specUnused bool) {
+	d.observe(addr, core.MsgAckInv, src)
+	e := d.entry(addr)
 	d.stats.AcksReceived++
 
 	// Speculation verification (§4.2): the piggy-backed bit reports
 	// whether a speculatively placed copy was ever referenced.
 	if rp, ok := e.specPending[src]; ok {
 		delete(e.specPending, src)
-		if m.SpecUnused {
+		if specUnused {
 			rp.Prune(src)
 			if a := d.n.opts.Active; a != nil {
-				a.RetractReader(m.Addr, src)
+				a.RetractReader(addr, src)
 			}
 			d.stats.SpecReadUnused++
 		} else if e.tr != nil {
@@ -362,7 +461,7 @@ func (d *directory) processAck(src mem.NodeID, m ackInvMsg) {
 	e.sharers = e.sharers.Without(src)
 	if e.tr == nil || e.tr.kind != transInval {
 		// Ack for a non-invalidating entry would be a protocol bug.
-		panic(fmt.Sprintf("protocol: stray ack for %v from %d", m.Addr, src))
+		panic(fmt.Sprintf("protocol: stray ack for %v from %d", addr, src))
 	}
 	e.tr.acksLeft--
 	if e.tr.acksLeft > 0 {
@@ -370,12 +469,12 @@ func (d *directory) processAck(src mem.NodeID, m ackInvMsg) {
 	}
 	tr := e.tr
 	if tr.swiVerifyOn && !tr.sawSpecRef {
-		d.premature(m.Addr, tr.swiVerify)
+		d.premature(addr, tr.swiVerify)
 	}
-	d.grantExclusive(m.Addr, e, tr.requester, tr.reqKind, tr.grantUpgrade)
+	d.grantExclusive(addr, e, tr.requester, tr.reqKind, tr.grantUpgrade)
 }
 
-func (d *directory) processWriteback(src mem.NodeID, m writebackMsg) {
+func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 	d.observe(m.Addr, core.MsgWriteback, src)
 	e := d.entry(m.Addr)
 	d.stats.Writebacks++
@@ -438,14 +537,15 @@ func (d *directory) processWriteback(src mem.NodeID, m writebackMsg) {
 		}
 		e.state = dirShared
 		e.sharers = mem.VecOf(req)
-		v := e.version
 		e.tr = &trans{kind: transGrant, requester: req}
-		d.n.sys.kernel.After(t.MemAccess, func() {
-			d.n.sys.route(d.n.id, req, dataMsg{Addr: m.Addr, Version: v, Excl: false})
-			if d.n.opts.EnableFR {
-				d.specForward(m.Addr, e, mem.VecOf(req), false)
-			}
-			d.finish(m.Addr, e)
+		d.grantAfter(t.MemAccess, grantEvent{
+			addr:      m.Addr,
+			e:         e,
+			dst:       req,
+			msg:       Msg{Kind: MsgData, Addr: m.Addr, Version: e.version},
+			sendData:  true,
+			doFR:      d.n.opts.EnableFR,
+			frExclude: mem.VecOf(req),
 		})
 	case transWriteRecall:
 		tr := e.tr
@@ -458,9 +558,11 @@ func (d *directory) processWriteback(src mem.NodeID, m writebackMsg) {
 		e.swiWatch = true
 		e.swiOwner = src
 		e.tr = &trans{kind: transGrant}
-		d.n.sys.kernel.After(t.MemAccess, func() {
-			d.specForward(m.Addr, e, 0, true)
-			d.finish(m.Addr, e)
+		d.grantAfter(t.MemAccess, grantEvent{
+			addr:  m.Addr,
+			e:     e,
+			doFR:  true,
+			frSWI: true,
 		})
 	default:
 		panic(fmt.Sprintf("protocol: writeback during %v transaction for %v", e.tr.kind, m.Addr))

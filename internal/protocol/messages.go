@@ -6,77 +6,98 @@ import "specdsm/internal/mem"
 // travel home→cache; acks and writebacks travel cache→home; data grants
 // travel home→requester. All messages for a (src,dst) pair are delivered
 // FIFO by the network model.
+//
+// Messages are one tagged-union value type rather than a family of
+// structs behind an interface: the network is instantiated as
+// network.Network[Msg], so sending a message never boxes it onto the heap
+// and dispatch is a jump on Kind instead of a type switch. The union is
+// small (the variants share Addr and Version), so passing it by value is
+// cheaper than the allocation it replaces.
 
-// reqMsg is a memory request message: Read, Write, or Upgrade (§2).
-type reqMsg struct {
-	Kind mem.ReqKind
-	Addr mem.BlockAddr
+// MsgKind discriminates the Msg union.
+type MsgKind uint8
+
+const (
+	// msgNone is the zero Msg: never sent, panics on dispatch.
+	msgNone MsgKind = iota
+	// MsgReq is a memory request message: Read, Write, or Upgrade (§2),
+	// selected by Msg.Req.
+	MsgReq
+	// MsgInval invalidates a read-only copy; the cache answers MsgAckInv.
+	MsgInval
+	// MsgRecall invalidates a writable copy and requests a writeback. SWI
+	// marks speculative (early) recalls so stats distinguish them;
+	// protocol handling is identical — that is the point of the design
+	// (§4.2).
+	MsgRecall
+	// MsgAckInv acknowledges an invalidation. SpecUnused piggy-backs the
+	// verification bit: the invalidated line had been placed speculatively
+	// and was never referenced (§4.2).
+	MsgAckInv
+	// MsgWriteback returns a dirty writable copy to the home. Written
+	// reports whether the owner actually stored to the line since it was
+	// granted; the speculative-upgrade extension uses it to verify
+	// exclusive grants. Voluntary marks a capacity-eviction writeback
+	// (finite-cache mode): sent without a recall, it may cross a recall in
+	// flight, in which case it doubles as that recall's response.
+	MsgWriteback
+	// MsgData grants a copy to a requester. Excl grants ownership.
+	MsgData
+	// MsgUpgradeAck grants write permission to a requester that retained
+	// its read-only copy throughout the invalidation of the other sharers.
+	MsgUpgradeAck
+	// MsgSpecData is a speculatively forwarded read-only copy. A receiver
+	// with a valid copy or an outstanding request for the block drops it
+	// (§4.2's race rule), so the base protocol is never perturbed.
+	MsgSpecData
+	// MsgSWIHint tells the home of Addr that the sender's processor has
+	// moved on to writing a different block — the §4.1
+	// early-write-invalidate signal. The requester-side DSM hardware
+	// maintains the per-processor last-write table (it observes all of its
+	// processor's write requests, regardless of home) and notifies the
+	// previous block's home off the critical path. A hint is purely
+	// advisory; the home revalidates that the block is still exclusively
+	// owned by the sender before recalling it.
+	MsgSWIHint
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgReq:
+		return "req"
+	case MsgInval:
+		return "inval"
+	case MsgRecall:
+		return "recall"
+	case MsgAckInv:
+		return "ack-inv"
+	case MsgWriteback:
+		return "writeback"
+	case MsgData:
+		return "data"
+	case MsgUpgradeAck:
+		return "upgrade-ack"
+	case MsgSpecData:
+		return "spec-data"
+	case MsgSWIHint:
+		return "swi-hint"
+	default:
+		return "none"
+	}
 }
 
-// invalMsg invalidates a read-only copy; the cache answers with ackInvMsg.
-type invalMsg struct {
-	Addr mem.BlockAddr
-}
-
-// recallMsg invalidates a writable copy and requests a writeback. SWI
-// marks speculative (early) recalls so stats distinguish them; protocol
-// handling is identical — that is the point of the design (§4.2).
-type recallMsg struct {
-	Addr mem.BlockAddr
-	SWI  bool
-}
-
-// ackInvMsg acknowledges an invalidation. SpecUnused piggy-backs the
-// verification bit: the invalidated line had been placed speculatively and
-// was never referenced (§4.2).
-type ackInvMsg struct {
-	Addr       mem.BlockAddr
-	SpecUnused bool
-}
-
-// writebackMsg returns a dirty writable copy to the home. Written reports
-// whether the owner actually stored to the line since it was granted; the
-// speculative-upgrade extension uses it to verify exclusive grants.
-// Voluntary marks a capacity-eviction writeback (finite-cache mode): sent
-// without a recall, it may cross a recall in flight, in which case it
-// doubles as that recall's response.
-type writebackMsg struct {
-	Addr      mem.BlockAddr
-	Version   uint64
-	SWI       bool
-	Written   bool
-	Voluntary bool
-}
-
-// dataMsg grants a copy to a requester. Excl grants ownership.
-type dataMsg struct {
+// Msg is one coherence message. Kind selects the variant; the other
+// fields are meaningful only for the variants documented on the MsgKind
+// constants.
+type Msg struct {
+	Kind    MsgKind
+	Req     mem.ReqKind // MsgReq
 	Addr    mem.BlockAddr
-	Version uint64
-	Excl    bool
-}
-
-// upgradeAckMsg grants write permission to a requester that retained its
-// read-only copy throughout the invalidation of the other sharers.
-type upgradeAckMsg struct {
-	Addr    mem.BlockAddr
-	Version uint64
-}
-
-// specDataMsg is a speculatively forwarded read-only copy. A receiver with
-// a valid copy or an outstanding request for the block drops it (§4.2's
-// race rule), so the base protocol is never perturbed.
-type specDataMsg struct {
-	Addr    mem.BlockAddr
-	Version uint64
-}
-
-// swiHintMsg tells the home of Addr that the sender's processor has moved
-// on to writing a different block — the §4.1 early-write-invalidate
-// signal. The requester-side DSM hardware maintains the per-processor
-// last-write table (it observes all of its processor's write requests,
-// regardless of home) and notifies the previous block's home off the
-// critical path. A hint is purely advisory; the home revalidates that the
-// block is still exclusively owned by the sender before recalling it.
-type swiHintMsg struct {
-	Addr mem.BlockAddr
+	Version uint64 // MsgWriteback, MsgData, MsgUpgradeAck, MsgSpecData
+	// Flags.
+	Excl       bool // MsgData: grant is exclusive
+	SWI        bool // MsgRecall/MsgWriteback: speculative recall chain
+	Written    bool // MsgWriteback: owner stored to the line
+	Voluntary  bool // MsgWriteback: capacity eviction, not recall response
+	SpecUnused bool // MsgAckInv: speculative copy was never referenced
 }

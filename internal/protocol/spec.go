@@ -40,7 +40,7 @@ func (d *directory) maybeSWI(addr mem.BlockAddr, writer mem.NodeID) {
 	e.tr = &trans{kind: transSWI, requester: writer}
 	d.stats.SWIRecalls++
 	d.stats.RecallsSent++
-	d.n.sys.route(d.n.id, writer, recallMsg{Addr: addr, SWI: true})
+	d.n.sys.route(d.n.id, writer, Msg{Kind: MsgRecall, Addr: addr, SWI: true})
 }
 
 // specForward sends speculative read-only copies of addr to the readers
@@ -67,7 +67,9 @@ func (d *directory) specForward(addr mem.BlockAddr, e *dirEntry, exclude mem.Rea
 	if e.specPending == nil {
 		e.specPending = make(map[mem.NodeID]core.ReadPrediction)
 	}
-	targets.ForEach(func(q mem.NodeID) {
+	for w := targets; !w.Empty(); {
+		q := w.Lowest()
+		w = w.Without(q)
 		e.sharers = e.sharers.With(q)
 		e.specPending[q] = rp
 		if viaSWI {
@@ -75,8 +77,8 @@ func (d *directory) specForward(addr mem.BlockAddr, e *dirEntry, exclude mem.Rea
 		} else {
 			d.stats.SpecReadsFR++
 		}
-		d.n.sys.route(d.n.id, q, specDataMsg{Addr: addr, Version: v})
-	})
+		d.n.sys.route(d.n.id, q, Msg{Kind: MsgSpecData, Addr: addr, Version: v})
+	}
 	e.state = dirShared
 	act.AssumeReaders(addr, targets)
 }

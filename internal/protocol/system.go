@@ -49,29 +49,58 @@ func (n *Node) SweepUnreferencedSpec() uint64 { return n.cache.sweepSpecLines() 
 
 // deliver dispatches a message arriving at this node, to the directory
 // (home-bound traffic) or the cache (copy-holder-bound traffic).
-func (n *Node) deliver(src mem.NodeID, msg any) {
-	switch msg.(type) {
-	case reqMsg, ackInvMsg, writebackMsg, swiHintMsg:
+func (n *Node) deliver(src mem.NodeID, msg Msg) {
+	switch msg.Kind {
+	case MsgReq, MsgAckInv, MsgWriteback, MsgSWIHint:
 		n.dir.deliver(src, msg)
-	case invalMsg, recallMsg, dataMsg, upgradeAckMsg, specDataMsg:
+	case MsgInval, MsgRecall, MsgData, MsgUpgradeAck, MsgSpecData:
 		n.cache.deliver(src, msg)
 	default:
-		panic(fmt.Sprintf("protocol: node %d got unknown message %T", n.id, msg))
+		panic(fmt.Sprintf("protocol: node %d got unknown message kind %v", n.id, msg.Kind))
 	}
 }
 
 // System assembles the nodes, network, and coherence checker.
 type System struct {
 	kernel *sim.Kernel
-	net    *network.Network
+	net    *network.Network[Msg]
 	timing Timing
 	nodes  []*Node
+	// sendPool recycles the deferred-send events used by routeAfter.
+	sendPool sim.FreeList[sendEvent]
 
 	// Coherence checking (simulator-level omniscience, assertions only).
 	checkEnabled bool
 	latest       map[mem.BlockAddr]uint64
 	observed     map[obsKey]uint64
 	violations   []string
+}
+
+// sendEvent is a pooled "route msg after a fixed delay" kernel event
+// (cache probe and bus-overhead latencies); its run closure is bound once.
+type sendEvent struct {
+	s        *System
+	src, dst mem.NodeID
+	msg      Msg
+	run      func()
+}
+
+func (ev *sendEvent) fire() {
+	s, src, dst, msg := ev.s, ev.src, ev.dst, ev.msg
+	s.sendPool.Put(ev)
+	s.route(src, dst, msg)
+}
+
+// routeAfter routes msg from src to dst after delay cycles, without
+// allocating a closure per call.
+func (s *System) routeAfter(delay sim.Cycle, src, dst mem.NodeID, msg Msg) {
+	ev, ok := s.sendPool.Get()
+	if !ok {
+		ev = &sendEvent{s: s}
+		ev.run = ev.fire
+	}
+	ev.src, ev.dst, ev.msg = src, dst, msg
+	s.kernel.After(delay, ev.run)
 }
 
 type obsKey struct {
@@ -87,7 +116,7 @@ func NewSystem(k *sim.Kernel, n int, timing Timing, netCfg network.Config, opts 
 	}
 	s := &System{
 		kernel:       k,
-		net:          network.New(k, n, netCfg),
+		net:          network.New[Msg](k, n, netCfg),
 		timing:       timing,
 		checkEnabled: true,
 		latest:       make(map[mem.BlockAddr]uint64),
@@ -109,10 +138,7 @@ func NewSystem(k *sim.Kernel, n int, timing Timing, netCfg network.Config, opts 
 		node.cache = newCache(node)
 		node.dir = newDirectory(node)
 		s.nodes = append(s.nodes, node)
-		id := mem.NodeID(i)
-		s.net.SetHandler(id, func(src mem.NodeID, payload any) {
-			s.nodes[id].deliver(src, payload)
-		})
+		s.net.SetHandler(node.id, node.deliver)
 	}
 	return s
 }
@@ -136,12 +162,11 @@ func (s *System) NetworkStats() network.Stats { return s.net.Stats() }
 func (s *System) SetCoherenceChecking(on bool) { s.checkEnabled = on }
 
 // route delivers a message from src to dst: node-internal traffic takes
-// the local hop, everything else crosses the network.
-func (s *System) route(src, dst mem.NodeID, msg any) {
+// the local hop (via the network's pooled carrier path, bypassing the NI
+// model and counters), everything else crosses the network.
+func (s *System) route(src, dst mem.NodeID, msg Msg) {
 	if src == dst {
-		s.kernel.After(s.timing.LocalHop, func() {
-			s.nodes[dst].deliver(src, msg)
-		})
+		s.net.DeliverLocal(src, dst, s.timing.LocalHop, msg)
 		return
 	}
 	s.net.Send(src, dst, msg)

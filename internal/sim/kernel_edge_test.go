@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+)
+
+// These tests pin the Kernel semantics the value-based heap rewrite must
+// preserve: RunUntil's deadline handling, Stop in the middle of a run,
+// and tie-breaking by insertion order under heavy same-cycle load —
+// including events scheduled at the current cycle from inside a handler.
+
+func TestRunUntilStopMidRun(t *testing.T) {
+	k := NewKernel()
+	var fired []Cycle
+	for _, c := range []Cycle{10, 20, 30, 40} {
+		c := c
+		k.At(c, func() {
+			fired = append(fired, c)
+			if c == 20 {
+				k.Stop()
+			}
+		})
+	}
+	n := k.RunUntil(35)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("executed %d (fired %v), want 2", n, fired)
+	}
+	// A stopped RunUntil must not advance the clock to the deadline: the
+	// simulation halted at the stopping event's time.
+	if k.Now() != 20 {
+		t.Fatalf("Now = %d after Stop, want 20 (not deadline 35)", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	// Resume picks up where the stop left off.
+	if n := k.RunUntil(35); n != 1 || k.Now() != 35 {
+		t.Fatalf("resume executed %d at %d, want 1 at 35", n, k.Now())
+	}
+	if n := k.Run(0); n != 1 || k.Now() != 40 {
+		t.Fatalf("drain executed %d at %d, want 1 at 40", n, k.Now())
+	}
+}
+
+func TestRunUntilDeadlineIsInclusive(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.At(25, func() { ran = true })
+	if n := k.RunUntil(25); n != 1 || !ran {
+		t.Fatalf("event at the deadline must dispatch (n=%d ran=%v)", n, ran)
+	}
+	if k.Now() != 25 {
+		t.Fatalf("Now = %d, want 25", k.Now())
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	if n := k.RunUntil(100); n != 0 {
+		t.Fatalf("executed %d on empty queue", n)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now = %d, want deadline 100", k.Now())
+	}
+	// A deadline in the past never rewinds the clock.
+	if k.RunUntil(50); k.Now() != 100 {
+		t.Fatalf("Now = %d after past deadline, want 100", k.Now())
+	}
+}
+
+func TestStopMidRunKeepsClock(t *testing.T) {
+	k := NewKernel()
+	for i := Cycle(1); i <= 5; i++ {
+		i := i
+		k.At(i*10, func() {
+			if i == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run(0)
+	if k.Now() != 30 {
+		t.Fatalf("Now = %d, want 30 (the stopping event's time)", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+}
+
+// TestHeavySameCycleTieBreak schedules thousands of events at one cycle —
+// including events appended at that same cycle from inside handlers — and
+// requires strict global insertion-order dispatch. This is the pattern a
+// 16-node directory burst produces, and the ordering property that makes
+// the simulator bit-reproducible.
+func TestHeavySameCycleTieBreak(t *testing.T) {
+	k := NewKernel()
+	const base = 3000
+	var got []int
+	next := base
+	for i := 0; i < base; i++ {
+		i := i
+		k.At(7, func() {
+			got = append(got, i)
+			// Every 10th handler appends two more same-cycle events; they
+			// must run after everything already scheduled.
+			if i%10 == 0 {
+				for j := 0; j < 2; j++ {
+					id := next
+					next++
+					k.At(7, func() { got = append(got, id) })
+				}
+			}
+		})
+	}
+	k.Run(0)
+	if len(got) != next {
+		t.Fatalf("executed %d events, want %d", len(got), next)
+	}
+	// The first base dispatches are 0..base-1 in order; the appended ones
+	// follow in append order.
+	for i, v := range got {
+		if i < base && v != i {
+			t.Fatalf("position %d got %d; pre-scheduled events out of insertion order", i, v)
+		}
+		if i >= base && v != i {
+			t.Fatalf("position %d got %d; same-cycle appends out of insertion order", i, v)
+		}
+	}
+	if k.Now() != 7 {
+		t.Fatalf("Now = %d, want 7", k.Now())
+	}
+}
+
+// TestKernelScheduleZeroAllocs is the acceptance guard for the value-based
+// heap: once the queue's backing array is warm, scheduling and dispatching
+// pre-built closures must not allocate.
+func TestKernelScheduleZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the queue capacity.
+	for i := 0; i < 256; i++ {
+		k.At(Cycle(i), fn)
+	}
+	k.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			k.After(Cycle(i%5), fn)
+		}
+		k.Run(0)
+	})
+	if avg != 0 {
+		t.Errorf("schedule+dispatch allocates %.2f/run, want 0", avg)
+	}
+}
+
+// BenchmarkKernelSchedule measures steady-state schedule+dispatch with a
+// standing event population, the kernel's hot loop in every simulation.
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel()
+	const standing = 64
+	remaining := b.N
+	var fn func()
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			k.After(Cycle(remaining%7+1), fn)
+		}
+	}
+	for i := 0; i < standing; i++ {
+		k.At(Cycle(i%7), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(uint64(b.N))
+}

@@ -289,8 +289,8 @@ func buildConfig(w Workload, opts MachineOptions) (machine.Config, Mode, error) 
 		if err != nil {
 			return cfg, "", err
 		}
-		if o.Depth < 1 {
-			return cfg, "", fmt.Errorf("specdsm: observer depth %d < 1", o.Depth)
+		if o.Depth < 1 || o.Depth > core.MaxDepth {
+			return cfg, "", fmt.Errorf("specdsm: observer depth %d out of range [1,%d]", o.Depth, core.MaxDepth)
 		}
 		specs = append(specs, machine.PredictorSpec{Kind: k, Depth: o.Depth, Confidence: o.Confidence})
 	}
@@ -321,6 +321,9 @@ func buildConfig(w Workload, opts MachineOptions) (machine.Config, Mode, error) 
 		k, err := active.Kind.kind()
 		if err != nil {
 			return cfg, "", err
+		}
+		if active.Depth < 1 || active.Depth > core.MaxDepth {
+			return cfg, "", fmt.Errorf("specdsm: active depth %d out of range [1,%d]", active.Depth, core.MaxDepth)
 		}
 		cfg.Active = &machine.PredictorSpec{Kind: k, Depth: active.Depth, Confidence: active.Confidence}
 	}

@@ -74,8 +74,8 @@ func evaluateTrace(tr *trace.Trace, configs []PredictorConfig) ([]PredictorResul
 		if err != nil {
 			return nil, TraceSummary{}, err
 		}
-		if c.Depth < 1 {
-			return nil, TraceSummary{}, fmt.Errorf("specdsm: predictor depth %d < 1", c.Depth)
+		if c.Depth < 1 || c.Depth > core.MaxDepth {
+			return nil, TraceSummary{}, fmt.Errorf("specdsm: predictor depth %d out of range [1,%d]", c.Depth, core.MaxDepth)
 		}
 		preds = append(preds, core.New(k, c.Depth))
 		specs = append(specs, machine.PredictorSpec{Kind: k, Depth: c.Depth})
