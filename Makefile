@@ -1,16 +1,22 @@
 GO ?= go
 # bench pipes go test into benchjson; pipefail keeps a failing benchmark
-# run from silently writing an incomplete BENCH_PR2.json.
+# run from silently writing an incomplete BENCH_PR<N>.json.
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check fmt vet build test race bench benchsmoke
+# BENCH_OUT names the trajectory point `make bench` records. Bump the PR
+# number when landing a perf PR so the old point stays committed next to
+# the new one and bench-check can diff them.
+BENCH_OUT ?= BENCH_PR3.json
+
+.PHONY: check fmt vet build test race bench benchsmoke bench-check
 
 # check is the full gate: formatting, vet, build, the test suite under
 # the race detector (the sweep engine is explicitly designed and tested
-# to be race-clean), and a one-iteration benchmark smoke run so the
-# benches cannot silently rot.
-check: fmt vet build race benchsmoke
+# to be race-clean), a one-iteration benchmark smoke run so the benches
+# cannot silently rot, and the bench-history regression check over the
+# committed BENCH_PR<N>.json records.
+check: fmt vet build race benchsmoke bench-check
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,14 +35,40 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark — the per-table/figure study benches plus
-# the hot-path microbenches (Observe, KernelSchedule) — with -benchmem,
-# and records ns/op, B/op, allocs/op, and the headline metrics to
-# BENCH_PR2.json via cmd/benchjson. The JSON is committed so perf PRs
-# diff against the previous trajectory point.
+# the hot-path microbenches (Observe, KernelSchedule, DirectoryServe,
+# CacheHit) — with -benchmem, and records ns/op, B/op, allocs/op, and
+# the headline metrics to $(BENCH_OUT) via cmd/benchjson.
+#
+# Bench JSON workflow: the emitted document is
+#
+#	{ "go_version", "goos", "goarch",
+#	  "benchmarks": [ { "name", "iterations",
+#	                    "metrics": { "ns/op", "B/op", "allocs/op",
+#	                                 ...custom b.ReportMetric units } } ] }
+#
+# where the custom units are each study's headline scalar (meanVMSP%,
+# meanSWIexec%, appbtVMSP@d2%, ...), so a diff of two records shows both
+# performance movement and any drift in the reproduced shapes. Each perf
+# PR appends a new BENCH_PR<N>.json rather than overwriting the old one;
+# the committed series is the repo's performance history and bench-check
+# (below) enforces that the newest point does not walk back the previous
+# one.
+# Study benches run 3 iterations (each is a full deterministic
+# simulation; averaging 3 tames scheduling noise, and 3 is the floor at
+# which bench-check treats ns/op as a measurement rather than noise);
+# the nanosecond-scale hot-path microbenches need real iteration counts
+# to produce comparable ns/op. Both logs feed one benchjson run, which
+# merges them into a single record.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' . ./internal/core ./internal/sim \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	{ $(GO) test -bench=. -benchmem -benchtime=3x -run='^$$' . && \
+	  $(GO) test -bench=. -benchmem -benchtime=1000x -run='^$$' ./internal/core ./internal/sim ./internal/protocol ; } \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # benchsmoke compiles and runs every benchmark once, without recording.
 benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench-check compares the two newest committed BENCH_PR<N>.json records
+# and fails on any allocs/op increase or a >15% ns/op regression.
+bench-check:
+	$(GO) run ./cmd/benchcheck

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{
+		Name:       name,
+		Iterations: 5,
+		Metrics:    map[string]float64{"ns/op": ns, "allocs/op": allocs},
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldRep := Report{Benchmarks: []Benchmark{
+		bench("Fast", 1000, 10),
+		bench("Guarded", 500, 0),
+		bench("Slow", 2000, 100),
+		bench("Removed", 1, 1),
+	}}
+	newRep := Report{Benchmarks: []Benchmark{
+		bench("Fast", 1100, 10),  // +10% ns: within the 15% budget
+		bench("Guarded", 480, 1), // allocs regression: must fail
+		bench("Slow", 2400, 90),  // +20% ns: must fail
+		bench("Added", 1, 1),     // no baseline: ignored
+	}}
+	res := compare(oldRep, newRep, 0.15)
+	if res.Compared != 3 {
+		t.Errorf("Compared = %d, want 3", res.Compared)
+	}
+	if len(res.Regressions) != 3 {
+		t.Fatalf("Regressions = %v, want 3 entries", res.Regressions)
+	}
+	joined := strings.Join(res.Regressions, "\n")
+	if !strings.Contains(joined, "Guarded: allocs/op 0 -> 1") {
+		t.Errorf("missing allocs regression, got:\n%s", joined)
+	}
+	if !strings.Contains(joined, "Slow: ns/op") {
+		t.Errorf("missing ns regression, got:\n%s", joined)
+	}
+	if !strings.Contains(joined, "Removed: present in old record but missing") {
+		t.Errorf("missing disappeared-benchmark regression, got:\n%s", joined)
+	}
+	if res.AllocsImproved != 1 { // Slow 100 -> 90
+		t.Errorf("AllocsImproved = %d, want 1", res.AllocsImproved)
+	}
+}
+
+// TestCompareSkipsNsOnSingleShotRecords pins the noise rule: a record
+// measured with fewer than minNsIters iterations cannot trip (or pass)
+// the ns/op check, but its allocation counts are still binding.
+func TestCompareSkipsNsOnSingleShotRecords(t *testing.T) {
+	oneShot := func(name string, ns, allocs float64) Benchmark {
+		b := bench(name, ns, allocs)
+		b.Iterations = 1
+		return b
+	}
+	oldRep := Report{Benchmarks: []Benchmark{oneShot("Study", 1000, 50)}}
+	newRep := Report{Benchmarks: []Benchmark{bench("Study", 5000, 60)}}
+	res := compare(oldRep, newRep, 0.15)
+	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "allocs/op") {
+		t.Fatalf("want only the allocs regression, got %v", res.Regressions)
+	}
+}
+
+func TestCompareAllImprovedPasses(t *testing.T) {
+	oldRep := Report{Benchmarks: []Benchmark{bench("A", 1000, 10)}}
+	newRep := Report{Benchmarks: []Benchmark{bench("A", 500, 0)}}
+	res := compare(oldRep, newRep, 0.15)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", res.Regressions)
+	}
+	if res.NsImproved != 1 || res.AllocsImproved != 1 {
+		t.Errorf("improved counts = %d/%d, want 1/1", res.NsImproved, res.AllocsImproved)
+	}
+}
+
+func TestPickFilesChoosesTwoNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR2.json", "BENCH_PR3.json", "BENCH_PR10.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldPath, newPath, err := config{dir: dir}.pickFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(oldPath) != "BENCH_PR3.json" || filepath.Base(newPath) != "BENCH_PR10.json" {
+		t.Errorf("picked %s -> %s, want BENCH_PR3.json -> BENCH_PR10.json", oldPath, newPath)
+	}
+}
+
+func TestPickFilesSingleRecordMeansNothingToCompare(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR2.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldPath, newPath, err := config{dir: dir}.pickFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPath != "" || newPath != "" {
+		t.Errorf("picked %q -> %q, want empty", oldPath, newPath)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON("BENCH_PR1.json",
+		`{"benchmarks":[{"name":"X","iterations":1,"metrics":{"ns/op":100,"allocs/op":5}}]}`)
+	writeJSON("BENCH_PR2.json",
+		`{"benchmarks":[{"name":"X","iterations":1,"metrics":{"ns/op":90,"allocs/op":5}}]}`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	writeJSON("BENCH_PR3.json",
+		`{"benchmarks":[{"name":"X","iterations":1,"metrics":{"ns/op":90,"allocs/op":6}}]}`)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1 (allocs regression); stdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION line in output: %s", out.String())
+	}
+}

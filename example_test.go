@@ -56,6 +56,33 @@ func ExampleRun() {
 	// speculative hits occurred: true
 }
 
+// ExamplePredictorStudy runs the Figure 7 methodology on two
+// applications with the study fanned out across a worker pool.
+// StudyConfig.Parallel only sizes the pool: results, their order, and
+// every simulated cycle are identical for any worker count (0 means one
+// worker per CPU, 1 is the exact sequential path), so study output can
+// be compared across machines.
+func ExamplePredictorStudy() {
+	study, err := specdsm.PredictorStudy(specdsm.StudyConfig{
+		Apps:     []string{"em3d", "moldyn"},
+		Depths:   []int{1},
+		Scale:    0.25,
+		Parallel: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, app := range study {
+		msp := app.Get(specdsm.MSP, 1)
+		vmsp := app.Get(specdsm.VMSP, 1)
+		fmt.Printf("%s: VMSP at least as accurate as MSP: %v\n",
+			app.App, vmsp.Accuracy >= msp.Accuracy)
+	}
+	// Output:
+	// em3d: VMSP at least as accurate as MSP: true
+	// moldyn: VMSP at least as accurate as MSP: true
+}
+
 // ExampleRun_observers measures all three predictors on one run's
 // directory message stream — the methodology behind Figures 7-8.
 func ExampleRun_observers() {

@@ -1,12 +1,3 @@
-// Package analytic implements the qualitative performance model of the
-// paper's §5 (Equations 1 and 2) and generates the four panels of
-// Figure 6.
-//
-// The model estimates the speedup of a speculative coherent DSM from five
-// parameters: the application's communication ratio on the critical path
-// (c), the fraction of memory requests executed speculatively (f), the
-// prediction accuracy (p), the remote-to-local latency ratio (rtl), and
-// the misspeculation penalty factor (n).
 package analytic
 
 import "fmt"

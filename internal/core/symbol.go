@@ -1,26 +1,3 @@
-// Package core implements the paper's primary contribution: pattern-based
-// coherence predictors attached to a DSM directory.
-//
-// Three predictors are provided, all built on one two-level (PAp-derived)
-// engine:
-//
-//   - Cosmos — the general message predictor of Mukherjee & Hill (ISCA '98),
-//     reproduced here as the baseline. It observes and predicts every
-//     incoming coherence message at the directory, including invalidation
-//     acknowledgements and writebacks.
-//   - MSP — the paper's Memory Sharing Predictor (§3). It observes and
-//     predicts only memory request messages (read, write, upgrade),
-//     eliminating acknowledgement-induced perturbation of the pattern
-//     tables.
-//   - VMSP — the Vector MSP (§3.1). Like MSP, but a sequence of reads
-//     between writes is folded into a single reader bit-vector symbol,
-//     eliminating read re-ordering effects.
-//
-// The package also provides the speculation-facing surface used by the
-// speculative coherent DSM (§4): predicted upcoming reader sets with
-// verification feedback (pruning mispredicted readers), the Speculative
-// Write-Invalidation premature bit, and the per-node early-write-invalidate
-// table.
 package core
 
 import (

@@ -190,13 +190,18 @@ func New(kind Kind, depth int) *TwoLevel {
 	if depth > MaxDepth {
 		panic(fmt.Sprintf("core: history depth %d > MaxDepth %d", depth, MaxDepth))
 	}
+	// The containers are pre-sized for a typical per-node working set so
+	// that cold-path table growth costs a handful of allocations instead
+	// of a full doubling chain per structure (sizing only; behaviour and
+	// contents are unchanged).
 	return &TwoLevel{
-		kind:     kind,
-		depth:    depth,
-		blocks:   make(map[mem.BlockAddr]int32),
-		patterns: make(map[patternKey]int32),
-		store:    &entryStore{},
-		maxChain: mem.MaxNodes,
+		kind:        kind,
+		depth:       depth,
+		blocks:      make(map[mem.BlockAddr]int32, 128),
+		blockStates: make([]blockState, 0, 128),
+		patterns:    make(map[patternKey]int32, 256),
+		store:       &entryStore{entries: make([]entry, 0, 256)},
+		maxChain:    mem.MaxNodes,
 	}
 }
 

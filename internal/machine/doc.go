@@ -1,0 +1,11 @@
+// Package machine assembles the full simulated CC-NUMA: in-order
+// processors executing per-node programs of memory accesses, compute
+// delays, and synchronization, on top of the coherence protocol
+// (internal/protocol), with predictors (internal/core) attached at every
+// directory.
+//
+// The machine produces the measurements behind every experiment in the
+// paper: execution-time breakdowns (Figure 9), request/speculation counts
+// (Table 5), and — through passively attached predictors — accuracy,
+// coverage, and storage occupancy (Figures 7-8, Tables 3-4).
+package machine

@@ -1,0 +1,132 @@
+package mem
+
+// BlockMap is an insert-only open-addressed hash table from BlockAddr to
+// a caller-managed dense index. It is the block-keyed analogue of the
+// predictor's entryStore scheme (internal/core): callers keep their
+// per-block records inline in a slice they append to, and the map holds
+// stable int32 indices into that slice. The indices survive both slice
+// growth and table rehashes, so a handle captured before either remains
+// valid — unlike an interior pointer into a Go map value.
+//
+// The table never stores pointers and never deletes (per-block records
+// are retired by clearing flags inside the caller's record, not by
+// unmapping the block), so lookups are a probe over a flat slot array
+// with no write barriers and no steady-state allocation. Reset clears
+// the table but retains its storage, mirroring the clear-but-retain
+// contract of the predictor tables.
+//
+// The zero value is an empty, ready-to-use table.
+type BlockMap struct {
+	// slots is the open-addressed array; len is always a power of two
+	// (or zero before first use). A slot with idx == blockMapEmpty is
+	// free; linear probing resolves collisions.
+	slots []blockSlot
+	n     int
+}
+
+type blockSlot struct {
+	addr BlockAddr
+	idx  int32
+}
+
+// blockMapEmpty marks a free slot. Caller indices must be non-negative.
+const blockMapEmpty int32 = -1
+
+// blockMapInitial is the slot count allocated on first Put.
+const blockMapInitial = 64
+
+// hashAddr finalizes a BlockAddr into a well-mixed 64-bit hash
+// (splitmix64's finalizer). BlockAddr packs the home node into the top
+// byte over small dense per-home indices, so the raw value's entropy is
+// concentrated at both ends; the finalizer spreads it across all bits,
+// which linear probing needs to avoid clustering.
+func hashAddr(a BlockAddr) uint64 {
+	x := uint64(a)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of mapped blocks.
+func (m *BlockMap) Len() int { return m.n }
+
+// Get returns the index mapped to addr.
+func (m *BlockMap) Get(addr BlockAddr) (int32, bool) {
+	if len(m.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.slots) - 1)
+	for i := hashAddr(addr) & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.idx == blockMapEmpty {
+			return 0, false
+		}
+		if s.addr == addr {
+			return s.idx, true
+		}
+	}
+}
+
+// Put maps addr to idx (idx must be >= 0). Mapping an addr twice
+// panics: the caller's dense-slice discipline allocates exactly one
+// record per block, so a re-map always indicates a bookkeeping bug.
+func (m *BlockMap) Put(addr BlockAddr, idx int32) {
+	if idx < 0 {
+		panic("mem: BlockMap index must be non-negative")
+	}
+	if len(m.slots)*3 < (m.n+1)*4 { // grow beyond 3/4 load
+		m.grow()
+	}
+	mask := uint64(len(m.slots) - 1)
+	for i := hashAddr(addr) & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.idx == blockMapEmpty {
+			s.addr, s.idx = addr, idx
+			m.n++
+			return
+		}
+		if s.addr == addr {
+			panic("mem: BlockMap.Put of an already-mapped address")
+		}
+	}
+}
+
+// grow doubles the slot array (or allocates the initial one) and
+// rehashes every occupied slot. Indices are values, so rehashing moves
+// nothing the caller can observe.
+func (m *BlockMap) grow() {
+	old := m.slots
+	newLen := blockMapInitial
+	if len(old) > 0 {
+		newLen = len(old) * 2
+	}
+	m.slots = make([]blockSlot, newLen)
+	for i := range m.slots {
+		m.slots[i].idx = blockMapEmpty
+	}
+	mask := uint64(newLen - 1)
+	for _, s := range old {
+		if s.idx == blockMapEmpty {
+			continue
+		}
+		for i := hashAddr(s.addr) & mask; ; i = (i + 1) & mask {
+			if m.slots[i].idx == blockMapEmpty {
+				m.slots[i] = s
+				break
+			}
+		}
+	}
+}
+
+// Reset empties the table but retains its slot storage, so a reused
+// table reaches steady state without reallocating (the contract pinned
+// by the reset-equivalence tests, mirroring internal/core's Reset).
+func (m *BlockMap) Reset() {
+	for i := range m.slots {
+		m.slots[i].idx = blockMapEmpty
+	}
+	m.n = 0
+}

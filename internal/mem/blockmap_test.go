@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randAddrs returns a deterministic mix of addresses exercising every
+// entropy corner of the encoding: dense low indices, scattered large
+// indices, all homes, and address zero.
+func randAddrs(n int) []BlockAddr {
+	rng := rand.New(rand.NewSource(42))
+	addrs := make([]BlockAddr, 0, n)
+	addrs = append(addrs, MakeAddr(0, 0)) // the zero BlockAddr is valid
+	for len(addrs) < n {
+		home := NodeID(rng.Intn(MaxNodes))
+		var idx uint64
+		if rng.Intn(2) == 0 {
+			idx = uint64(rng.Intn(1024))
+		} else {
+			idx = rng.Uint64() & (1<<56 - 1)
+		}
+		addrs = append(addrs, MakeAddr(home, idx))
+	}
+	return addrs
+}
+
+// TestBlockMapAgainstReferenceMap drives BlockMap and a plain Go map with
+// the same insert/lookup sequence and requires identical answers.
+func TestBlockMapAgainstReferenceMap(t *testing.T) {
+	var bm BlockMap
+	ref := map[BlockAddr]int32{}
+	for i, addr := range randAddrs(5000) {
+		if _, dup := ref[addr]; dup {
+			continue
+		}
+		bm.Put(addr, int32(i))
+		ref[addr] = int32(i)
+	}
+	if bm.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", bm.Len(), len(ref))
+	}
+	for addr, want := range ref {
+		got, ok := bm.Get(addr)
+		if !ok || got != want {
+			t.Fatalf("Get(%v) = %d,%v, want %d,true", addr, got, ok, want)
+		}
+	}
+	// Probe absent addresses (including near-collisions of present ones).
+	for _, addr := range randAddrs(5000) {
+		probe := MakeAddr(addr.Home(), addr.Index()^(1<<55))
+		_, wantOK := ref[probe]
+		if _, ok := bm.Get(probe); ok != wantOK {
+			t.Fatalf("Get(%v) present=%v, want %v", probe, ok, wantOK)
+		}
+	}
+}
+
+// TestBlockMapResetThenReuseEquivalentToFresh pins the clear-but-retain
+// contract, mirroring internal/core/reset_test.go: a table that has been
+// filled and Reset must answer exactly like a fresh one.
+func TestBlockMapResetThenReuseEquivalentToFresh(t *testing.T) {
+	var fresh, reused BlockMap
+	// Dirty the reused table with a different population, then Reset.
+	for i, addr := range randAddrs(700) {
+		if _, ok := reused.Get(addr); !ok {
+			reused.Put(addr, int32(i))
+		}
+	}
+	reused.Reset()
+	if reused.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", reused.Len())
+	}
+
+	addrs := randAddrs(300)
+	next := int32(0)
+	for _, addr := range addrs {
+		_, fOK := fresh.Get(addr)
+		_, rOK := reused.Get(addr)
+		if fOK != rOK {
+			t.Fatalf("presence diverged for %v: fresh %v, reused %v", addr, fOK, rOK)
+		}
+		if !fOK {
+			fresh.Put(addr, next)
+			reused.Put(addr, next)
+			next++
+		}
+	}
+	for _, addr := range addrs {
+		f, fOK := fresh.Get(addr)
+		r, rOK := reused.Get(addr)
+		if f != r || fOK != rOK {
+			t.Fatalf("Get(%v): fresh %d,%v vs reused %d,%v", addr, f, fOK, r, rOK)
+		}
+	}
+}
+
+// TestBlockMapResetReusesStorage verifies the point of Reset: refilling a
+// reset table with the same working set allocates nothing.
+func TestBlockMapResetReusesStorage(t *testing.T) {
+	var bm BlockMap
+	addrs := randAddrs(500)
+	fill := func() {
+		for i, addr := range addrs {
+			if _, ok := bm.Get(addr); !ok {
+				bm.Put(addr, int32(i))
+			}
+		}
+	}
+	fill()
+	avg := testing.AllocsPerRun(20, func() {
+		bm.Reset()
+		fill()
+	})
+	if avg != 0 {
+		t.Errorf("reset-then-refill allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestBlockMapGetZeroAllocs guards the hot lookup path.
+func TestBlockMapGetZeroAllocs(t *testing.T) {
+	var bm BlockMap
+	addrs := randAddrs(64)
+	for i, addr := range addrs {
+		if _, ok := bm.Get(addr); !ok {
+			bm.Put(addr, int32(i))
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, addr := range addrs {
+			if _, ok := bm.Get(addr); !ok {
+				t.Fatal("lost an address")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Get allocates %.2f/run, want 0", avg)
+	}
+}
+
+func TestBlockMapPutPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Put did not panic")
+		}
+	}()
+	var bm BlockMap
+	bm.Put(MakeAddr(1, 2), 0)
+	bm.Put(MakeAddr(1, 2), 1)
+}
+
+func TestBlockMapPutPanicsOnNegativeIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative index Put did not panic")
+		}
+	}()
+	var bm BlockMap
+	bm.Put(MakeAddr(1, 2), -1)
+}

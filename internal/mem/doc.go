@@ -1,0 +1,23 @@
+// Package mem defines the fundamental identifiers shared by every layer of
+// the simulated distributed shared memory machine: node identifiers, block
+// addresses, request kinds, and reader bit-vectors.
+//
+// The package is deliberately tiny and dependency-free; both the coherence
+// protocol (internal/protocol) and the predictors (internal/core) build on
+// it without depending on each other.
+//
+// Key invariants:
+//
+//   - A BlockAddr embeds its home node in the top byte, so home lookup is
+//     a shift, not a table walk, at every layer.
+//   - ReaderVec is one machine word (MaxNodes = 64); set algebra on sharer
+//     lists and VMSP read-run symbols is branch-free bit arithmetic, and
+//     Lowest gives closure-free ascending iteration for hot paths.
+//   - BlockMap is the canonical block-keyed lookup structure for per-block
+//     state kept inline in dense slices (the directory's entries, the
+//     cache's lines): an insert-only open-addressed table mapping
+//     BlockAddr to a stable int32 index, with clear-but-retain Reset. It
+//     is the block-addressed analogue of internal/core's entryStore index
+//     scheme and exists for the same reason — steady-state protocol
+//     operation must not allocate.
+package mem

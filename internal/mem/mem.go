@@ -1,10 +1,3 @@
-// Package mem defines the fundamental identifiers shared by every layer of
-// the simulated distributed shared memory machine: node identifiers, block
-// addresses, request kinds, and reader bit-vectors.
-//
-// The package is deliberately tiny and dependency-free; both the coherence
-// protocol (internal/protocol) and the predictors (internal/core) build on
-// it without depending on each other.
 package mem
 
 import (

@@ -1,0 +1,17 @@
+// Package network models the point-to-point interconnect of the simulated
+// DSM: a constant-latency switched fabric with contention modeled at the
+// network interfaces (NIs), as in the paper's methodology (§6): "we assume
+// a point-to-point network with a constant latency of 80 cycles but model
+// contention at the network interfaces."
+//
+// Each node has one send-side NI and one receive-side NI. An NI processes
+// one message at a time, each occupying the interface for a fixed number of
+// cycles; messages queue FIFO when the interface is busy. This queueing is
+// one of the two sources of message re-ordering that perturb pattern-based
+// predictors (the other is the blocking directory in internal/protocol).
+//
+// The network is generic over the payload type so protocol messages travel
+// as concrete values instead of being boxed into interfaces, and every
+// in-flight message rides a pooled carrier whose kernel callbacks are
+// bound once — steady-state sends do not allocate.
+package network

@@ -21,20 +21,38 @@ const (
 // the processor stored to the line since fill (used by the speculative
 // upgrade extension's verification); lastUse orders LRU eviction in
 // finite-cache mode.
+//
+// A line also carries the block's transient per-cache state that used to
+// live in separate maps keyed by the same address: the single outstanding
+// miss (hasPend/pend, the old pend map) and the in-flight voluntary
+// eviction writeback marker (evictPending, the old evictPending map).
+// Lines live inline in the cache's dense lines slice, indexed through a
+// mem.BlockMap; addr is kept in the line so eviction scans and audits can
+// walk the slice directly. "Deleting" transient state is clearing a flag,
+// so the insert-only table suffices and steady state allocates nothing.
 type line struct {
+	addr       mem.BlockAddr
 	state      lineState
 	version    uint64
 	spec       bool
 	referenced bool
 	written    bool
 	lastUse    uint64
+	// hasPend/pend is the single outstanding miss of the in-order
+	// processor for this block.
+	hasPend bool
+	pend    pendingAccess
+	// evictPending marks an exclusive line whose voluntary writeback is
+	// in flight; a recall crossing it is ignored (the writeback doubles
+	// as the recall response). Cleared on the next fill of the block.
+	evictPending bool
 }
 
 // pendingAccess is the single outstanding miss of the in-order processor.
 // invalOnFill implements the standard MSHR rule for an invalidation that
 // arrives while the fill is in flight: the data is used exactly once to
 // complete the access (the read is ordered before the conflicting write)
-// and the line is then dropped. Stored by value in the pend map so a miss
+// and the line is then dropped. Stored by value inside the line so a miss
 // allocates nothing.
 type pendingAccess struct {
 	isWrite     bool
@@ -61,38 +79,45 @@ func (ev *doneEvent) fire() {
 	fn(out)
 }
 
-// cache is the processor-side controller of one node.
+// cache is the processor-side controller of one node. Per-block state
+// lives inline in the dense lines slice; table maps a block to its stable
+// index (lines are created on first touch and never removed).
 type cache struct {
 	n        *Node
-	lines    map[mem.BlockAddr]*line
-	pend     map[mem.BlockAddr]pendingAccess
+	table    mem.BlockMap
+	lines    []line
 	stats    CacheStats
 	donePool sim.FreeList[doneEvent]
+	// pendCount tracks outstanding misses (quiescence checking).
+	pendCount int
 	// Finite-cache mode state.
 	valid    int    // current valid-line count
 	useClock uint64 // LRU timestamp source
-	// evictPending marks exclusive lines whose voluntary writeback is in
-	// flight; a recall crossing it is ignored (the writeback doubles as
-	// the recall response). Cleared on the next exclusive fill.
-	evictPending map[mem.BlockAddr]bool
 }
 
 func newCache(n *Node) *cache {
-	return &cache{
-		n:            n,
-		lines:        make(map[mem.BlockAddr]*line),
-		pend:         make(map[mem.BlockAddr]pendingAccess),
-		evictPending: make(map[mem.BlockAddr]bool),
-	}
+	return &cache{n: n}
 }
 
+// line returns addr's line, creating it (invalid) on first touch. The
+// pointer is only valid until the next line creation (slice growth); it
+// must not be held across scheduled events.
 func (c *cache) line(addr mem.BlockAddr) *line {
-	l := c.lines[addr]
-	if l == nil {
-		l = &line{}
-		c.lines[addr] = l
+	if li, ok := c.table.Get(addr); ok {
+		return &c.lines[li]
 	}
-	return l
+	li := int32(len(c.lines))
+	c.lines = append(c.lines, line{addr: addr})
+	c.table.Put(addr, li)
+	return &c.lines[li]
+}
+
+// lookup returns addr's line without creating it, or nil.
+func (c *cache) lookup(addr mem.BlockAddr) *line {
+	if li, ok := c.table.Get(addr); ok {
+		return &c.lines[li]
+	}
+	return nil
 }
 
 // doneAfter schedules done(out) after delay cycles via the pooled event.
@@ -117,12 +142,12 @@ func (c *cache) touch(l *line) {
 // any eviction-writeback flag: a recall crossing that writeback must have
 // arrived before the new grant (per-pair FIFO), so a recall seen after
 // this point is a fresh one.
-func (c *cache) install(addr mem.BlockAddr, l *line) {
-	delete(c.evictPending, addr)
+func (c *cache) install(l *line) {
+	l.evictPending = false
 	cap := c.n.opts.CacheCapacity
 	if cap > 0 && l.state == lineInvalid {
 		for c.valid >= cap {
-			if !c.evictOne(addr) {
+			if !c.evictOne(l.addr) {
 				break // nothing evictable; exceed rather than deadlock
 			}
 		}
@@ -144,29 +169,30 @@ func (c *cache) drop(l *line) {
 
 // evictOne removes the least-recently-used valid line other than keep.
 // Shared victims drop silently (the directory's sharer list tolerates
-// over-approximation); exclusive victims write back voluntarily.
+// over-approximation); exclusive victims write back voluntarily. The
+// linear scan over the dense slice picks the minimum (lastUse, addr)
+// pair, so the victim is deterministic.
 func (c *cache) evictOne(keep mem.BlockAddr) bool {
-	var victimAddr mem.BlockAddr
 	var victim *line
-	found := false
-	for addr, l := range c.lines {
-		if l.state == lineInvalid || addr == keep {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.state == lineInvalid || l.addr == keep {
 			continue
 		}
-		if !found || l.lastUse < victim.lastUse || (l.lastUse == victim.lastUse && addr < victimAddr) {
-			victimAddr, victim, found = addr, l, true
+		if victim == nil || l.lastUse < victim.lastUse || (l.lastUse == victim.lastUse && l.addr < victim.addr) {
+			victim = l
 		}
 	}
-	if !found {
+	if victim == nil {
 		return false
 	}
 	c.stats.Evictions++
 	if victim.state == lineExclusive {
 		c.stats.EvictionWritebacks++
-		c.evictPending[victimAddr] = true
-		c.n.sys.routeAfter(c.n.sys.timing.CacheAccess, c.n.id, victimAddr.Home(), Msg{
+		victim.evictPending = true
+		c.n.sys.routeAfter(c.n.sys.timing.CacheAccess, c.n.id, victim.addr.Home(), Msg{
 			Kind:      MsgWriteback,
-			Addr:      victimAddr,
+			Addr:      victim.addr,
 			Version:   victim.version,
 			Written:   victim.written,
 			Voluntary: true,
@@ -182,7 +208,7 @@ func (c *cache) evictOne(keep mem.BlockAddr) bool {
 func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome)) {
 	t := c.n.sys.timing
 	k := c.n.sys.kernel
-	l := c.lines[addr]
+	l := c.lookup(addr)
 
 	// Hit: load on S/E, store on E.
 	if l != nil && l.state != lineInvalid && (!isWrite || l.state == lineExclusive) {
@@ -212,7 +238,7 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 	if home == c.n.id {
 		if version, ok := c.n.dir.tryLocalFastPath(addr, isWrite); ok {
 			nl := c.line(addr)
-			c.install(addr, nl)
+			c.install(nl)
 			nl.state = lineShared
 			if isWrite {
 				nl.state = lineExclusive
@@ -229,13 +255,15 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 		}
 	}
 
-	// Coherence transaction required.
-	if _, dup := c.pend[addr]; dup {
+	// Coherence transaction required. (c.line may have just created the
+	// entry, so re-derive the state from it rather than from l.)
+	nl := c.line(addr)
+	if nl.hasPend {
 		panic(fmt.Sprintf("protocol: node %d duplicate outstanding access to %v", c.n.id, addr))
 	}
 	kind := mem.ReqRead
 	if isWrite {
-		if l != nil && l.state == lineShared {
+		if nl.state == lineShared {
 			kind = mem.ReqUpgrade
 		} else {
 			kind = mem.ReqWrite
@@ -246,7 +274,9 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 	} else {
 		c.stats.ProtocolReads++
 	}
-	c.pend[addr] = pendingAccess{isWrite: isWrite, start: k.Now(), done: done}
+	nl.hasPend = true
+	nl.pend = pendingAccess{isWrite: isWrite, start: k.Now(), done: done}
+	c.pendCount++
 	c.n.sys.routeAfter(t.BusOverhead, c.n.id, home, Msg{Kind: MsgReq, Req: kind, Addr: addr})
 	if isWrite && c.n.opts.EnableSWI && c.n.opts.Active != nil {
 		if prev, candidate := c.n.ewi.Update(c.n.id, addr); candidate {
@@ -273,9 +303,19 @@ func (c *cache) deliver(src mem.NodeID, m Msg) {
 	}
 }
 
+// clearPend retires l's outstanding miss and returns it. The stored copy
+// is zeroed so the completion closure is not pinned past the access.
+func (c *cache) clearPend(l *line) pendingAccess {
+	p := l.pend
+	l.hasPend = false
+	l.pend = pendingAccess{}
+	c.pendCount--
+	return p
+}
+
 func (c *cache) handleInval(m Msg) {
 	t := c.n.sys.timing
-	l := c.lines[m.Addr]
+	l := c.lookup(m.Addr)
 	c.stats.InvalsReceived++
 	specUnused := false
 	switch {
@@ -288,9 +328,8 @@ func (c *cache) handleInval(m Msg) {
 		// No valid copy: either a speculative copy we dropped, or the fill
 		// for our outstanding read is still in flight. In the latter case
 		// the data will be used once and discarded.
-		if p, ok := c.pend[m.Addr]; ok && !p.isWrite {
-			p.invalOnFill = true
-			c.pend[m.Addr] = p
+		if l != nil && l.hasPend && !l.pend.isWrite {
+			l.pend.invalOnFill = true
 		}
 	}
 	c.n.sys.routeAfter(t.CacheAccess, c.n.id, m.Addr.Home(),
@@ -298,14 +337,14 @@ func (c *cache) handleInval(m Msg) {
 }
 
 func (c *cache) handleRecall(m Msg) {
+	l := c.lookup(m.Addr)
 	// A recall that crossed our voluntary eviction writeback is already
 	// answered by that writeback (finite-cache mode).
-	if c.evictPending[m.Addr] {
-		delete(c.evictPending, m.Addr)
+	if l != nil && l.evictPending {
+		l.evictPending = false
 		return
 	}
 	t := c.n.sys.timing
-	l := c.lines[m.Addr]
 	if l == nil || l.state != lineExclusive {
 		panic(fmt.Sprintf("protocol: recall for non-exclusive line %v at node %d", m.Addr, c.n.id))
 	}
@@ -317,13 +356,12 @@ func (c *cache) handleRecall(m Msg) {
 
 func (c *cache) handleData(m Msg) {
 	t := c.n.sys.timing
-	p, ok := c.pend[m.Addr]
-	if !ok {
+	l := c.lookup(m.Addr)
+	if l == nil || !l.hasPend {
 		panic(fmt.Sprintf("protocol: unsolicited data for %v at node %d", m.Addr, c.n.id))
 	}
-	delete(c.pend, m.Addr)
-	l := c.line(m.Addr)
-	c.install(m.Addr, l)
+	p := c.clearPend(l)
+	c.install(l)
 	l.version = m.Version
 	l.spec = false
 	l.referenced = false
@@ -349,15 +387,14 @@ func (c *cache) handleData(m Msg) {
 
 func (c *cache) handleUpgradeAck(m Msg) {
 	t := c.n.sys.timing
-	p, ok := c.pend[m.Addr]
-	if !ok || !p.isWrite {
+	l := c.lookup(m.Addr)
+	if l == nil || !l.hasPend || !l.pend.isWrite {
 		panic(fmt.Sprintf("protocol: unsolicited upgrade ack for %v at node %d", m.Addr, c.n.id))
 	}
-	l := c.lines[m.Addr]
-	if l == nil || l.state != lineShared {
+	if l.state != lineShared {
 		panic(fmt.Sprintf("protocol: upgrade ack but line not shared for %v at node %d", m.Addr, c.n.id))
 	}
-	delete(c.pend, m.Addr)
+	p := c.clearPend(l)
 	l.state = lineExclusive
 	l.version = m.Version
 	l.spec = false
@@ -373,8 +410,8 @@ func (c *cache) handleUpgradeAck(m Msg) {
 // speculatively-sent block and an in-flight read request for the block,
 // the DSM node receiving the block drops the speculated message."
 func (c *cache) handleSpecData(m Msg) {
-	l := c.lines[m.Addr]
-	if _, out := c.pend[m.Addr]; out || (l != nil && l.state != lineInvalid) {
+	l := c.lookup(m.Addr)
+	if l != nil && (l.hasPend || l.state != lineInvalid) {
 		c.stats.SpecDropped++
 		return
 	}
@@ -385,7 +422,7 @@ func (c *cache) handleSpecData(m Msg) {
 		return
 	}
 	nl := c.line(m.Addr)
-	c.install(m.Addr, nl)
+	c.install(nl)
 	nl.state = lineShared
 	nl.version = m.Version
 	nl.spec = true
@@ -398,7 +435,8 @@ func (c *cache) handleSpecData(m Msg) {
 // sweepSpecLines reports speculative lines never referenced by the end of
 // a run (misspeculations that were not yet caught by an invalidation).
 func (c *cache) sweepSpecLines() (unreferenced uint64) {
-	for _, l := range c.lines {
+	for i := range c.lines {
+		l := &c.lines[i]
 		if l.state != lineInvalid && l.spec && !l.referenced {
 			unreferenced++
 		}

@@ -47,6 +47,9 @@ const (
 )
 
 // trans is the single in-flight transaction of a blocking directory entry.
+// Transactions are pooled per directory (startTrans/endTrans): an entry
+// begins and ends thousands of transactions over a run, and recycling the
+// carrier is what keeps the serve path allocation-free in steady state.
 type trans struct {
 	kind         transKind
 	requester    mem.NodeID
@@ -66,8 +69,22 @@ type queuedReq struct {
 	src  mem.NodeID
 }
 
-// dirEntry is the full-map directory state for one home block.
+// specPend records one node holding an unverified speculative copy,
+// together with the prediction that produced it. The per-entry list
+// replaces the old map[NodeID]ReadPrediction: a handful of linear-probed
+// inline records whose backing array is retained across reuse, instead of
+// a per-entry heap-allocated map.
+type specPend struct {
+	node mem.NodeID
+	rp   core.ReadPrediction
+}
+
+// dirEntry is the full-map directory state for one home block. Entries
+// live inline in the directory's dense entries slice (indexed through a
+// mem.BlockMap), not behind per-block pointers; addr is kept in the entry
+// so audits can walk the slice directly.
 type dirEntry struct {
+	addr    mem.BlockAddr
 	state   dirState
 	sharers mem.ReaderVec
 	owner   mem.NodeID
@@ -81,9 +98,9 @@ type dirEntry struct {
 	swiWatch bool
 	swiOwner mem.NodeID
 	swiGuard core.SWIGuard
-	// specPending maps nodes holding unverified speculative copies to the
-	// prediction that produced them.
-	specPending map[mem.NodeID]core.ReadPrediction
+	// specPending lists nodes holding unverified speculative copies with
+	// the prediction that produced each.
+	specPending []specPend
 	// specUpgraded marks an exclusive grant made speculatively for
 	// migratory sharing (extension).
 	specUpgraded bool
@@ -99,6 +116,44 @@ func (e *dirEntry) popWait() queuedReq {
 	return q
 }
 
+// specPendFor returns the tracked prediction for node, if any.
+func (e *dirEntry) specPendFor(node mem.NodeID) (core.ReadPrediction, bool) {
+	for i := range e.specPending {
+		if e.specPending[i].node == node {
+			return e.specPending[i].rp, true
+		}
+	}
+	return core.ReadPrediction{}, false
+}
+
+// setSpecPend records (or replaces) the tracked prediction for node.
+func (e *dirEntry) setSpecPend(node mem.NodeID, rp core.ReadPrediction) {
+	for i := range e.specPending {
+		if e.specPending[i].node == node {
+			e.specPending[i].rp = rp
+			return
+		}
+	}
+	e.specPending = append(e.specPending, specPend{node: node, rp: rp})
+}
+
+// clearSpecPend removes and returns the tracked prediction for node. The
+// vacated tail record is zeroed so its ReadPrediction does not pin
+// predictor storage.
+func (e *dirEntry) clearSpecPend(node mem.NodeID) (core.ReadPrediction, bool) {
+	for i := range e.specPending {
+		if e.specPending[i].node == node {
+			rp := e.specPending[i].rp
+			last := len(e.specPending) - 1
+			e.specPending[i] = e.specPending[last]
+			e.specPending[last] = specPend{}
+			e.specPending = e.specPending[:last]
+			return rp, true
+		}
+	}
+	return core.ReadPrediction{}, false
+}
+
 // inMsg is one directory-bound message waiting behind the occupancy
 // model.
 type inMsg struct {
@@ -110,11 +165,13 @@ type inMsg struct {
 // optionally sends a data grant, optionally runs speculative read
 // forwarding, and always finishes the entry's transaction. It replaces
 // the per-grant closures that previously dominated directory-side
-// allocation.
+// allocation. The entry is referenced by its stable dense-slice index
+// (ei), never by pointer: the entries slice may grow between scheduling
+// and firing, and indices survive that growth.
 type grantEvent struct {
 	d         *directory
 	addr      mem.BlockAddr
-	e         *dirEntry
+	ei        int32
 	dst       mem.NodeID
 	msg       Msg
 	sendData  bool
@@ -125,22 +182,25 @@ type grantEvent struct {
 }
 
 func (g *grantEvent) fire() {
-	d, addr, e := g.d, g.addr, g.e
+	d, addr, ei := g.d, g.addr, g.ei
 	if g.sendData {
 		d.n.sys.route(d.n.id, g.dst, g.msg)
 	}
 	if g.doFR {
-		d.specForward(addr, e, g.frExclude, g.frSWI)
+		d.specForward(addr, ei, g.frExclude, g.frSWI)
 	}
-	g.e = nil
 	d.grantPool.Put(g)
-	d.finish(addr, e)
+	d.finish(addr, ei)
 }
 
-// directory is the home-side controller of one node.
+// directory is the home-side controller of one node. Per-block state
+// lives inline in the dense entries slice; table maps a home block to its
+// stable index (entries are created on first touch and never removed, so
+// the insert-only BlockMap suffices).
 type directory struct {
 	n       *Node
-	entries map[mem.BlockAddr]*dirEntry
+	table   mem.BlockMap
+	entries []dirEntry
 	// free serializes directory occupancy, modeling queueing delay.
 	free  sim.Cycle
 	stats DirStats
@@ -151,27 +211,63 @@ type directory struct {
 	inqHead     int
 	processNext func()
 	grantPool   sim.FreeList[grantEvent]
+	transPool   sim.FreeList[trans]
 }
 
 func newDirectory(n *Node) *directory {
-	d := &directory{
-		n:       n,
-		entries: make(map[mem.BlockAddr]*dirEntry),
-	}
+	d := &directory{n: n}
 	d.processNext = d.dispatch
 	return d
 }
 
-func (d *directory) entry(addr mem.BlockAddr) *dirEntry {
+// entryIdx returns the stable index of addr's entry, creating the entry
+// on first touch.
+func (d *directory) entryIdx(addr mem.BlockAddr) int32 {
+	if idx, ok := d.table.Get(addr); ok {
+		return idx
+	}
 	if addr.Home() != d.n.id {
 		panic(fmt.Sprintf("protocol: block %v is not homed at node %d", addr, d.n.id))
 	}
-	e := d.entries[addr]
-	if e == nil {
-		e = &dirEntry{owner: mem.NoNode}
-		d.entries[addr] = e
+	idx := int32(len(d.entries))
+	d.entries = append(d.entries, dirEntry{addr: addr, owner: mem.NoNode})
+	d.table.Put(addr, idx)
+	return idx
+}
+
+// entry returns addr's entry, creating it on first touch. The pointer is
+// only valid until the next entry creation (slice growth); it must not be
+// held across scheduled events — use entryIdx for that.
+func (d *directory) entry(addr mem.BlockAddr) *dirEntry {
+	return &d.entries[d.entryIdx(addr)]
+}
+
+// lookupEntry returns addr's entry without creating it, or nil.
+func (d *directory) lookupEntry(addr mem.BlockAddr) *dirEntry {
+	if idx, ok := d.table.Get(addr); ok {
+		return &d.entries[idx]
 	}
-	return e
+	return nil
+}
+
+// startTrans begins a transaction on e, recycling a pooled carrier.
+func (d *directory) startTrans(e *dirEntry, t trans) {
+	tr, ok := d.transPool.Get()
+	if !ok {
+		tr = &trans{}
+	}
+	*tr = t
+	e.tr = tr
+}
+
+// endTrans clears e's transaction and recycles the carrier. The carrier
+// is zeroed on release so a stale SWIGuard cannot pin predictor storage.
+func (d *directory) endTrans(e *dirEntry) {
+	if tr := e.tr; tr != nil {
+		*tr = trans{}
+		d.transPool.Put(tr)
+		e.tr = nil
+	}
 }
 
 // deliver enqueues a directory-bound message behind the directory's
@@ -249,13 +345,14 @@ func (d *directory) processRequest(src mem.NodeID, kind mem.ReqKind, addr mem.Bl
 	}
 	d.observe(addr, core.ReqMsgType(kind), src)
 
-	e := d.entry(addr)
+	ei := d.entryIdx(addr)
+	e := &d.entries[ei]
 	if e.tr != nil {
 		d.stats.QueuedReqs++
 		e.waitq = append(e.waitq, queuedReq{kind: kind, src: src})
 		return
 	}
-	d.serve(addr, e, kind, src)
+	d.serve(addr, ei, kind, src)
 }
 
 // checkSWIWatch resolves the premature-invalidation watch on the first
@@ -287,14 +384,14 @@ func (d *directory) premature(addr mem.BlockAddr, guard core.SWIGuard) {
 }
 
 // serve executes one request against a non-busy entry.
-func (d *directory) serve(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind, src mem.NodeID) {
-	verify, verifyOn := d.checkSWIWatch(addr, e, kind, src)
+func (d *directory) serve(addr mem.BlockAddr, ei int32, kind mem.ReqKind, src mem.NodeID) {
+	verify, verifyOn := d.checkSWIWatch(addr, &d.entries[ei], kind, src)
 
 	switch kind {
 	case mem.ReqRead:
-		d.serveRead(addr, e, src)
+		d.serveRead(addr, ei, src)
 	case mem.ReqWrite, mem.ReqUpgrade:
-		d.serveWrite(addr, e, kind, src, verify, verifyOn)
+		d.serveWrite(addr, ei, kind, src, verify, verifyOn)
 	default:
 		panic(fmt.Sprintf("protocol: unknown request kind %v", kind))
 	}
@@ -314,8 +411,9 @@ func (d *directory) grantAfter(delay sim.Cycle, g grantEvent) {
 	d.n.sys.kernel.After(delay, ev.run)
 }
 
-func (d *directory) serveRead(addr mem.BlockAddr, e *dirEntry, src mem.NodeID) {
+func (d *directory) serveRead(addr mem.BlockAddr, ei int32, src mem.NodeID) {
 	t := d.n.sys.timing
+	e := &d.entries[ei]
 	switch e.state {
 	case dirIdle, dirShared:
 		phaseStart := e.state == dirIdle
@@ -324,15 +422,15 @@ func (d *directory) serveRead(addr mem.BlockAddr, e *dirEntry, src mem.NodeID) {
 		if phaseStart && d.specUpgradeApplies(addr, src) {
 			d.stats.SpecUpgrades++
 			e.specUpgraded = true
-			d.grantExclusive(addr, e, src, mem.ReqWrite, false)
+			d.grantExclusive(addr, ei, src, mem.ReqWrite, false)
 			return
 		}
 		e.state = dirShared
 		e.sharers = e.sharers.With(src)
-		e.tr = &trans{kind: transGrant, requester: src}
+		d.startTrans(e, trans{kind: transGrant, requester: src})
 		d.grantAfter(t.MemAccess, grantEvent{
 			addr:      addr,
-			e:         e,
+			ei:        ei,
 			dst:       src,
 			msg:       Msg{Kind: MsgData, Addr: addr, Version: e.version},
 			sendData:  true,
@@ -343,39 +441,37 @@ func (d *directory) serveRead(addr mem.BlockAddr, e *dirEntry, src mem.NodeID) {
 		if e.owner == src {
 			panic(fmt.Sprintf("protocol: owner %d re-reading %v", src, addr))
 		}
-		e.tr = &trans{kind: transReadRecall, requester: src, reqKind: mem.ReqRead}
+		d.startTrans(e, trans{kind: transReadRecall, requester: src, reqKind: mem.ReqRead})
 		d.stats.RecallsSent++
 		d.n.sys.route(d.n.id, e.owner, Msg{Kind: MsgRecall, Addr: addr})
 	}
 }
 
-func (d *directory) serveWrite(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind, src mem.NodeID, verify core.SWIGuard, verifyOn bool) {
+func (d *directory) serveWrite(addr mem.BlockAddr, ei int32, kind mem.ReqKind, src mem.NodeID, verify core.SWIGuard, verifyOn bool) {
+	e := &d.entries[ei]
 	switch e.state {
 	case dirIdle:
 		if verifyOn {
 			// No sharers to consult: nobody consumed, so it was premature.
 			d.premature(addr, verify)
 		}
-		d.grantExclusive(addr, e, src, kind, false)
+		d.grantExclusive(addr, ei, src, kind, false)
 	case dirShared:
 		others := e.sharers.Without(src)
 		// If src's sharer membership came from an unverified speculative
 		// forward, the home cannot assume src kept the copy (it may have
 		// dropped the speculated message under the race rule), so the
 		// grant must carry data rather than permission only.
-		_, specTainted := e.specPending[src]
-		if specTainted {
-			delete(e.specPending, src)
-		}
+		_, specTainted := e.clearSpecPend(src)
 		viaUpgrade := kind == mem.ReqUpgrade && e.sharers.Has(src) && !specTainted
 		if others.Empty() {
 			if verifyOn {
 				d.premature(addr, verify)
 			}
-			d.grantExclusive(addr, e, src, kind, viaUpgrade)
+			d.grantExclusive(addr, ei, src, kind, viaUpgrade)
 			return
 		}
-		e.tr = &trans{
+		d.startTrans(e, trans{
 			kind:         transInval,
 			requester:    src,
 			reqKind:      kind,
@@ -383,7 +479,7 @@ func (d *directory) serveWrite(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind
 			grantUpgrade: viaUpgrade,
 			swiVerify:    verify,
 			swiVerifyOn:  verifyOn,
-		}
+		})
 		for w := others; !w.Empty(); {
 			q := w.Lowest()
 			w = w.Without(q)
@@ -394,18 +490,21 @@ func (d *directory) serveWrite(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind
 		if e.owner == src {
 			panic(fmt.Sprintf("protocol: owner %d re-requesting write for %v", src, addr))
 		}
-		e.tr = &trans{kind: transWriteRecall, requester: src, reqKind: kind}
+		d.startTrans(e, trans{kind: transWriteRecall, requester: src, reqKind: kind})
 		d.stats.RecallsSent++
 		d.n.sys.route(d.n.id, e.owner, Msg{Kind: MsgRecall, Addr: addr})
 	}
 }
 
-// grantExclusive makes src the owner at a new version. With viaUpgradeAck
-// the requester kept its read-only copy, so only a permission message is
-// needed; otherwise data is supplied after a memory access, with the entry
-// held busy until the grant is on the wire.
-func (d *directory) grantExclusive(addr mem.BlockAddr, e *dirEntry, src mem.NodeID, kind mem.ReqKind, viaUpgradeAck bool) {
+// grantExclusive makes src the owner at a new version, retiring whatever
+// transaction the entry was running. With viaUpgradeAck the requester
+// kept its read-only copy, so only a permission message is needed;
+// otherwise data is supplied after a memory access, with the entry held
+// busy until the grant is on the wire.
+func (d *directory) grantExclusive(addr mem.BlockAddr, ei int32, src mem.NodeID, kind mem.ReqKind, viaUpgradeAck bool) {
 	t := d.n.sys.timing
+	e := &d.entries[ei]
+	d.endTrans(e)
 	e.version++
 	e.state = dirExclusive
 	e.owner = src
@@ -415,13 +514,13 @@ func (d *directory) grantExclusive(addr mem.BlockAddr, e *dirEntry, src mem.Node
 	if viaUpgradeAck {
 		d.stats.UpgradeGrants++
 		d.n.sys.route(d.n.id, src, Msg{Kind: MsgUpgradeAck, Addr: addr, Version: v})
-		d.finish(addr, e)
+		d.finish(addr, ei)
 		return
 	}
-	e.tr = &trans{kind: transGrant, requester: src}
+	d.startTrans(e, trans{kind: transGrant, requester: src})
 	d.grantAfter(t.MemAccess, grantEvent{
 		addr:     addr,
-		e:        e,
+		ei:       ei,
 		dst:      src,
 		msg:      Msg{Kind: MsgData, Addr: addr, Version: v, Excl: true},
 		sendData: true,
@@ -430,23 +529,27 @@ func (d *directory) grantExclusive(addr mem.BlockAddr, e *dirEntry, src mem.Node
 
 // finish clears the entry's transaction and serves queued requests until
 // one of them blocks the entry again.
-func (d *directory) finish(addr mem.BlockAddr, e *dirEntry) {
-	e.tr = nil
-	for e.tr == nil && len(e.waitq) > 0 {
+func (d *directory) finish(addr mem.BlockAddr, ei int32) {
+	d.endTrans(&d.entries[ei])
+	for {
+		e := &d.entries[ei]
+		if e.tr != nil || len(e.waitq) == 0 {
+			return
+		}
 		q := e.popWait()
-		d.serve(addr, e, q.kind, q.src)
+		d.serve(addr, ei, q.kind, q.src)
 	}
 }
 
 func (d *directory) processAck(src mem.NodeID, addr mem.BlockAddr, specUnused bool) {
 	d.observe(addr, core.MsgAckInv, src)
-	e := d.entry(addr)
+	ei := d.entryIdx(addr)
+	e := &d.entries[ei]
 	d.stats.AcksReceived++
 
 	// Speculation verification (§4.2): the piggy-backed bit reports
 	// whether a speculatively placed copy was ever referenced.
-	if rp, ok := e.specPending[src]; ok {
-		delete(e.specPending, src)
+	if rp, ok := e.clearSpecPend(src); ok {
 		if specUnused {
 			rp.Prune(src)
 			if a := d.n.opts.Active; a != nil {
@@ -471,12 +574,15 @@ func (d *directory) processAck(src mem.NodeID, addr mem.BlockAddr, specUnused bo
 	if tr.swiVerifyOn && !tr.sawSpecRef {
 		d.premature(addr, tr.swiVerify)
 	}
-	d.grantExclusive(addr, e, tr.requester, tr.reqKind, tr.grantUpgrade)
+	// Copy out before grantExclusive retires (and recycles) the carrier.
+	req, reqKind, upgrade := tr.requester, tr.reqKind, tr.grantUpgrade
+	d.grantExclusive(addr, ei, req, reqKind, upgrade)
 }
 
 func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 	d.observe(m.Addr, core.MsgWriteback, src)
-	e := d.entry(m.Addr)
+	ei := d.entryIdx(m.Addr)
+	e := &d.entries[ei]
 	d.stats.Writebacks++
 	if e.tr == nil {
 		// Only a capacity eviction may write back unsolicited; it retires
@@ -524,6 +630,7 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 	switch e.tr.kind {
 	case transReadRecall:
 		req := e.tr.requester
+		d.endTrans(e)
 		e.state = dirIdle
 		e.sharers = 0
 		// Migratory sharing arrives through this recall path: if the
@@ -532,15 +639,15 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 		if d.specUpgradeApplies(m.Addr, req) {
 			d.stats.SpecUpgrades++
 			e.specUpgraded = true
-			d.grantExclusive(m.Addr, e, req, mem.ReqWrite, false)
+			d.grantExclusive(m.Addr, ei, req, mem.ReqWrite, false)
 			return
 		}
 		e.state = dirShared
 		e.sharers = mem.VecOf(req)
-		e.tr = &trans{kind: transGrant, requester: req}
+		d.startTrans(e, trans{kind: transGrant, requester: req})
 		d.grantAfter(t.MemAccess, grantEvent{
 			addr:      m.Addr,
-			e:         e,
+			ei:        ei,
 			dst:       req,
 			msg:       Msg{Kind: MsgData, Addr: m.Addr, Version: e.version},
 			sendData:  true,
@@ -548,19 +655,20 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 			frExclude: mem.VecOf(req),
 		})
 	case transWriteRecall:
-		tr := e.tr
+		req, reqKind := e.tr.requester, e.tr.reqKind
 		e.state = dirIdle
 		e.sharers = 0
-		d.grantExclusive(m.Addr, e, tr.requester, tr.reqKind, false)
+		d.grantExclusive(m.Addr, ei, req, reqKind, false)
 	case transSWI:
+		d.endTrans(e)
 		e.state = dirIdle
 		e.sharers = 0
 		e.swiWatch = true
 		e.swiOwner = src
-		e.tr = &trans{kind: transGrant}
+		d.startTrans(e, trans{kind: transGrant})
 		d.grantAfter(t.MemAccess, grantEvent{
 			addr:  m.Addr,
-			e:     e,
+			ei:    ei,
 			doFR:  true,
 			frSWI: true,
 		})

@@ -1,0 +1,43 @@
+// Package protocol implements the full-map write-invalidate coherence
+// protocol of the simulated CC-NUMA (paper §2), together with the
+// speculation mechanisms of the speculative coherent DSM (§4).
+//
+// Every node hosts three cooperating controllers:
+//
+//   - a cache controller holding the processor's view of memory (a merged
+//     model of the processor data cache and the node's remote cache — the
+//     paper assumes a remote cache large enough to hold all remote data, so
+//     only cold and coherence misses exist);
+//   - a directory controlling the node's home blocks: per-block state
+//     (Idle/Shared/Exclusive), a full-map sharer vector, an owner, and a
+//     FIFO queue of requests that arrive while a transaction is in flight
+//     (the blocking directory is one of the two race sources that perturb
+//     message predictors; network-interface queueing is the other);
+//   - optionally, a predictor (internal/core) observing the directory's
+//     incoming message stream and driving read speculation via the
+//     First-Read (FR) and Speculative Write-Invalidation (SWI) triggers.
+//
+// The speculation machinery never modifies base protocol transitions: it
+// only schedules existing operations early (an early recall, an early
+// read-only forward). Speculative data that races with a real request is
+// dropped at the receiver, exactly as the paper specifies, so a failed
+// speculation degrades to the base protocol.
+//
+// # Allocation discipline
+//
+// The protocol layer is on the critical path of every simulated access, so
+// its steady state allocates nothing (enforced by the alloc-guard tests in
+// alloc_test.go):
+//
+//   - Per-block directory and cache state lives inline in dense slices
+//     indexed through mem.BlockMap — no per-block heap objects. Deferred
+//     events reference entries by stable index, never by pointer, because
+//     the slices grow.
+//   - Directory transactions, grant events, completion callbacks, and
+//     delayed sends all ride pooled carriers (sim.FreeList) whose kernel
+//     closures are bound once per object.
+//   - Transient per-block state (the outstanding miss, the
+//     eviction-writeback marker, speculative-copy tracking) is folded into
+//     the block's inline record and retired by clearing a flag, so no map
+//     insert or delete happens after a block's first touch.
+package protocol

@@ -1,27 +1,3 @@
-// Package protocol implements the full-map write-invalidate coherence
-// protocol of the simulated CC-NUMA (paper §2), together with the
-// speculation mechanisms of the speculative coherent DSM (§4).
-//
-// Every node hosts three cooperating controllers:
-//
-//   - a cache controller holding the processor's view of memory (a merged
-//     model of the processor data cache and the node's remote cache — the
-//     paper assumes a remote cache large enough to hold all remote data, so
-//     only cold and coherence misses exist);
-//   - a directory controlling the node's home blocks: per-block state
-//     (Idle/Shared/Exclusive), a full-map sharer vector, an owner, and a
-//     FIFO queue of requests that arrive while a transaction is in flight
-//     (the blocking directory is one of the two race sources that perturb
-//     message predictors; network-interface queueing is the other);
-//   - optionally, a predictor (internal/core) observing the directory's
-//     incoming message stream and driving read speculation via the
-//     First-Read (FR) and Speculative Write-Invalidation (SWI) triggers.
-//
-// The speculation machinery never modifies base protocol transitions: it
-// only schedules existing operations early (an early recall, an early
-// read-only forward). Speculative data that races with a real request is
-// dropped at the receiver, exactly as the paper specifies, so a failed
-// speculation degrades to the base protocol.
 package protocol
 
 import (

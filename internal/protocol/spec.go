@@ -1,7 +1,6 @@
 package protocol
 
 import (
-	"specdsm/internal/core"
 	"specdsm/internal/mem"
 )
 
@@ -37,7 +36,7 @@ func (d *directory) maybeSWI(addr mem.BlockAddr, writer mem.NodeID) {
 		return
 	}
 	e.swiGuard = guard
-	e.tr = &trans{kind: transSWI, requester: writer}
+	d.startTrans(e, trans{kind: transSWI, requester: writer})
 	d.stats.SWIRecalls++
 	d.stats.RecallsSent++
 	d.n.sys.route(d.n.id, writer, Msg{Kind: MsgRecall, Addr: addr, SWI: true})
@@ -47,7 +46,7 @@ func (d *directory) maybeSWI(addr mem.BlockAddr, writer mem.NodeID) {
 // the active predictor expects next, excluding the given nodes and anyone
 // already sharing. Each forwarded copy is tracked for verification, and
 // the predictor's history advances as if the reads had arrived (§4.2).
-func (d *directory) specForward(addr mem.BlockAddr, e *dirEntry, exclude mem.ReaderVec, viaSWI bool) {
+func (d *directory) specForward(addr mem.BlockAddr, ei int32, exclude mem.ReaderVec, viaSWI bool) {
 	act := d.n.opts.Active
 	if act == nil {
 		return
@@ -56,6 +55,7 @@ func (d *directory) specForward(addr mem.BlockAddr, e *dirEntry, exclude mem.Rea
 	if !ok {
 		return
 	}
+	e := &d.entries[ei]
 	targets := rp.Readers &^ exclude &^ e.sharers
 	if targets.Empty() {
 		return
@@ -64,14 +64,11 @@ func (d *directory) specForward(addr mem.BlockAddr, e *dirEntry, exclude mem.Rea
 		return
 	}
 	v := e.version
-	if e.specPending == nil {
-		e.specPending = make(map[mem.NodeID]core.ReadPrediction)
-	}
 	for w := targets; !w.Empty(); {
 		q := w.Lowest()
 		w = w.Without(q)
 		e.sharers = e.sharers.With(q)
-		e.specPending[q] = rp
+		e.setSpecPend(q, rp)
 		if viaSWI {
 			d.stats.SpecReadsSWI++
 		} else {

@@ -206,16 +206,17 @@ func (s *System) Violations() []string { return s.violations }
 // transaction or queued requests; call after the workload drains.
 func (s *System) CheckQuiescent() error {
 	for _, n := range s.nodes {
-		for addr, e := range n.dir.entries {
+		for i := range n.dir.entries {
+			e := &n.dir.entries[i]
 			if e.tr != nil {
-				return fmt.Errorf("protocol: entry %v still has transaction at node %d", addr, n.id)
+				return fmt.Errorf("protocol: entry %v still has transaction at node %d", e.addr, n.id)
 			}
 			if len(e.waitq) != 0 {
-				return fmt.Errorf("protocol: entry %v has %d queued requests at node %d", addr, len(e.waitq), n.id)
+				return fmt.Errorf("protocol: entry %v has %d queued requests at node %d", e.addr, len(e.waitq), n.id)
 			}
 		}
-		if len(n.cache.pend) != 0 {
-			return fmt.Errorf("protocol: node %d has %d pending accesses", n.id, len(n.cache.pend))
+		if n.cache.pendCount != 0 {
+			return fmt.Errorf("protocol: node %d has %d pending accesses", n.id, n.cache.pendCount)
 		}
 	}
 	return nil
@@ -228,12 +229,14 @@ func (s *System) CheckQuiescent() error {
 // the current version. Call on a quiescent system.
 func (s *System) AuditConsistency() error {
 	for _, n := range s.nodes {
-		for addr, l := range n.cache.lines {
+		for i := range n.cache.lines {
+			l := &n.cache.lines[i]
 			if l.state == lineInvalid {
 				continue
 			}
+			addr := l.addr
 			home := s.nodes[addr.Home()]
-			e := home.dir.entries[addr]
+			e := home.dir.lookupEntry(addr)
 			if e == nil {
 				return fmt.Errorf("protocol: node %d holds %v with no directory entry", n.id, addr)
 			}
@@ -255,15 +258,16 @@ func (s *System) AuditConsistency() error {
 			}
 		}
 		// Exclusive directory entries must be backed by a real owner line.
-		for addr, e := range n.dir.entries {
+		for i := range n.dir.entries {
+			e := &n.dir.entries[i]
 			if e.state != dirExclusive {
 				continue
 			}
 			owner := s.nodes[e.owner]
-			l := owner.cache.lines[addr]
+			l := owner.cache.lookup(e.addr)
 			if l == nil || l.state != lineExclusive {
 				return fmt.Errorf("protocol: directory says %d owns %v but its line is absent/invalid",
-					e.owner, addr)
+					e.owner, e.addr)
 			}
 		}
 	}
@@ -283,7 +287,7 @@ type DirEntryView struct {
 // InspectEntry exposes directory state for tests and debugging.
 func (s *System) InspectEntry(addr mem.BlockAddr) DirEntryView {
 	d := s.nodes[addr.Home()].dir
-	e := d.entries[addr]
+	e := d.lookupEntry(addr)
 	if e == nil {
 		return DirEntryView{State: dirIdle.String(), Owner: mem.NoNode}
 	}

@@ -1,5 +1,3 @@
-// Package report renders experiment results as fixed-width text tables
-// and ASCII charts, mirroring the tables and figures of the paper.
 package report
 
 import (

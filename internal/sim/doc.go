@@ -1,0 +1,15 @@
+// Package sim provides the discrete-event simulation kernel underneath the
+// DSM machine model: a cycle-granular clock and an event queue with
+// deterministic ordering.
+//
+// Components schedule closures to run at absolute or relative cycle times;
+// the kernel runs them in (time, insertion) order so that simulations are
+// bit-reproducible for a given seed and workload.
+//
+// The queue is a value-based 4-ary heap over event structs: scheduling
+// appends into a reused slice (no per-event heap allocation, no
+// container/heap interface boxing), and dispatch pops in exactly the same
+// (time, insertion-sequence) total order as the previous pointer-based
+// binary heap — the comparator is a total order, so any heap shape yields
+// the identical dispatch sequence.
+package sim

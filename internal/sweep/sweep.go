@@ -1,23 +1,3 @@
-// Package sweep is a deterministic worker pool for the paper studies.
-//
-// Every experiment in the evaluation (Figures 7-9, Tables 3-5, the rtl
-// and multi-seed sweeps) is a set of independent app×mode×depth×seed
-// simulations. The pool fans those jobs out across GOMAXPROCS
-// goroutines while guaranteeing that the observable outcome — results,
-// their order, and which error is reported — is identical to running
-// the jobs sequentially:
-//
-//   - Jobs are dispatched in index order and results are merged back in
-//     index order, regardless of completion order.
-//   - When jobs fail, the failure with the lowest index wins, exactly
-//     as a sequential loop would have reported it. Dispatch of new jobs
-//     stops, but lower-index jobs already in flight run to completion so
-//     an earlier (more authoritative) failure is never lost.
-//   - A panicking job is captured as a *PanicError rather than taking
-//     down the process, on both the sequential and parallel paths.
-//
-// A Pool with one worker executes jobs strictly sequentially on the
-// calling goroutine — byte-identical to the pre-pool study loops.
 package sweep
 
 import (

@@ -1,0 +1,18 @@
+// Package workload generates the per-processor programs for the seven
+// shared-memory applications of the paper's evaluation (Table 2): appbt,
+// barnes, em3d, moldyn, ocean, tomcatv, and unstructured.
+//
+// The generators are synthetic: rather than executing the original
+// binaries (the paper used the Wisconsin Wind Tunnel II on real inputs),
+// each generator reproduces the application's *sharing pattern* as the
+// paper characterizes it in §7 — producer/consumer degree, migratory
+// chains, stencil neighbourhoods, read re-ordering, phase-alternating
+// consumers, rapidly-changing octree sharing. Pattern-based predictors and
+// the FR/SWI speculation hardware observe only per-block coherence message
+// streams and their timing, so generators that reproduce those streams
+// exercise exactly the behaviour the paper evaluates (see DESIGN.md §2 for
+// the substitution argument).
+//
+// All randomness is drawn from a seeded source; generation is
+// deterministic for a given Params.
+package workload

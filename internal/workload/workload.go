@@ -1,20 +1,3 @@
-// Package workload generates the per-processor programs for the seven
-// shared-memory applications of the paper's evaluation (Table 2): appbt,
-// barnes, em3d, moldyn, ocean, tomcatv, and unstructured.
-//
-// The generators are synthetic: rather than executing the original
-// binaries (the paper used the Wisconsin Wind Tunnel II on real inputs),
-// each generator reproduces the application's *sharing pattern* as the
-// paper characterizes it in §7 — producer/consumer degree, migratory
-// chains, stencil neighbourhoods, read re-ordering, phase-alternating
-// consumers, rapidly-changing octree sharing. Pattern-based predictors and
-// the FR/SWI speculation hardware observe only per-block coherence message
-// streams and their timing, so generators that reproduce those streams
-// exercise exactly the behaviour the paper evaluates (see DESIGN.md §2 for
-// the substitution argument).
-//
-// All randomness is drawn from a seeded source; generation is
-// deterministic for a given Params.
 package workload
 
 import (
@@ -179,12 +162,18 @@ func newBuild(p Params) *build {
 	if p.Nodes < 2 || p.Nodes > mem.MaxNodes {
 		panic(fmt.Sprintf("workload: invalid node count %d", p.Nodes))
 	}
-	return &build{
+	b := &build{
 		nodes: p.Nodes,
 		progs: make([]machine.Program, p.Nodes),
 		rng:   rand.New(rand.NewSource(p.Seed)),
 		next:  make([]uint64, p.Nodes),
 	}
+	// Pre-size each program past append's small-slice doubling chain;
+	// real program lengths are in the thousands of ops.
+	for i := range b.progs {
+		b.progs[i] = make(machine.Program, 0, 256)
+	}
+	return b
 }
 
 // alloc returns a fresh block homed at the given node.
