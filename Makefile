@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # BENCH_OUT names the trajectory point `make bench` records. Bump the PR
 # number when landing a perf PR so the old point stays committed next to
 # the new one and bench-check can diff them.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
 
 .PHONY: check fmt vet build test race bench benchsmoke bench-check
 
@@ -57,11 +57,24 @@ race:
 # simulation; averaging 3 tames scheduling noise, and 3 is the floor at
 # which bench-check treats ns/op as a measurement rather than noise);
 # the nanosecond-scale hot-path microbenches need real iteration counts
-# to produce comparable ns/op. Both logs feed one benchjson run, which
-# merges them into a single record.
+# to produce comparable ns/op — 100000, because 1000 iterations of a
+# ~30ns op is a ~30µs sample whose run-to-run swing on a busy machine
+# dwarfs the 15% regression budget bench-check enforces. The one
+# exception is ObserveColdBlocks, whose per-op cost grows with the
+# iteration count (every op allocates a fresh block, so b.N sets the
+# table size); it stays at the 1000x its committed baseline used.
+# Every benchmark additionally runs repeated -count samples, which
+# benchjson folds into one record by taking the per-metric minimum
+# (noise is strictly additive, so min-of-K is the robust cost
+# estimate); the study benches take 5 samples because minutes of
+# saturated CPU invite throttling windows that three consecutive
+# samples cannot escape. All logs feed one benchjson run, which merges
+# them into a single record.
 bench:
-	{ $(GO) test -bench=. -benchmem -benchtime=3x -run='^$$' . && \
-	  $(GO) test -bench=. -benchmem -benchtime=1000x -run='^$$' ./internal/core ./internal/sim ./internal/protocol ; } \
+	{ $(GO) test -bench=. -benchmem -benchtime=3x -count=5 -run='^$$' . && \
+	  $(GO) test -bench='ObserveColdBlocks' -benchmem -benchtime=1000x -count=3 -run='^$$' ./internal/core && \
+	  $(GO) test -bench='Observe$$/|PredictReaders' -benchmem -benchtime=100000x -count=3 -run='^$$' ./internal/core && \
+	  $(GO) test -bench=. -benchmem -benchtime=100000x -count=3 -run='^$$' ./internal/sim ./internal/protocol ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # benchsmoke compiles and runs every benchmark once, without recording.

@@ -53,9 +53,9 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 			workloads[s*nApps+i] = w
 		}
 	}
-	runs, err := sweep.Map(context.Background(), cfg.pool(), len(workloads)*nModes,
-		func(_ context.Context, j int) (*RunResult, error) {
-			return Run(workloads[j/nModes], MachineOptions{
+	runs, err := sweep.MapWorker(context.Background(), cfg.pool(), len(workloads)*nModes, machine.NewArena,
+		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
+			return runInArena(arena, workloads[j/nModes], MachineOptions{
 				Mode:          specModes[j%nModes],
 				DisableChecks: cfg.DisableChecks,
 			})
@@ -157,13 +157,13 @@ func RTLSweepParallel(app string, p WorkloadParams, flights []int, parallel int)
 	if err != nil {
 		return nil, err
 	}
-	runs, err := sweep.Map(context.Background(), sweep.New(parallel), 2*len(flights),
-		func(_ context.Context, j int) (*RunResult, error) {
+	runs, err := sweep.MapWorker(context.Background(), sweep.New(parallel), 2*len(flights), machine.NewArena,
+		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
 			mode := ModeBase
 			if j%2 == 1 {
 				mode = ModeSWI
 			}
-			return Run(w, MachineOptions{Mode: mode, NetworkFlight: flights[j/2], DisableChecks: true})
+			return runInArena(arena, w, MachineOptions{Mode: mode, NetworkFlight: flights[j/2], DisableChecks: true})
 		})
 	if err != nil {
 		return nil, err
@@ -218,8 +218,9 @@ type AppCharacterization struct {
 }
 
 // Characterize statically analyzes the generated programs of each app.
-// Generation and analysis run per-application on the cfg.Parallel-wide
-// worker pool.
+// Generation (served by the process-wide cache, so a later simulation
+// study reuses the same programs) and analysis run per-application on
+// the cfg.Parallel-wide worker pool.
 func Characterize(cfg StudyConfig) ([]AppCharacterization, error) {
 	cfg = cfg.withDefaults()
 	return sweep.Map(context.Background(), cfg.pool(), len(cfg.Apps),
@@ -229,7 +230,7 @@ func Characterize(cfg StudyConfig) ([]AppCharacterization, error) {
 			if !ok {
 				return AppCharacterization{}, fmt.Errorf("specdsm: unknown application %q", name)
 			}
-			progs := app.Generate(workload.Params{
+			progs := workload.Programs(app, workload.Params{
 				Nodes:      cfg.Nodes,
 				Iterations: cfg.Iterations,
 				Scale:      cfg.Scale,

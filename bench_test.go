@@ -158,6 +158,28 @@ func BenchmarkFig9SpeculativeDSM(b *testing.B) {
 	b.ReportMetric(swi/n, "meanSWIexec%") // paper: ~88
 }
 
+// BenchmarkSeedsSpeculation runs the multi-seed Figure 9 aggregate (3
+// seeds × 7 apps × 3 modes): the construction-heaviest study and the
+// headline workload for the run-arena layer — per-worker machine reuse
+// and the workload-generation cache amortize construction across the
+// whole matrix.
+func BenchmarkSeedsSpeculation(b *testing.B) {
+	var agg []specdsm.Figure9Aggregate
+	for i := 0; i < b.N; i++ {
+		var err error
+		agg, err = specdsm.SpeculationStudySeeds(benchCfg(), []int64{1, 2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printOnce(b, "seeds", specdsm.RenderFigure9Aggregate(agg))
+	var swi float64
+	for _, r := range agg {
+		swi += r.SWIMean
+	}
+	b.ReportMetric(swi/float64(len(agg)), "meanSWIexec%")
+}
+
 // BenchmarkTable5Speculation regenerates Table 5: speculation and
 // misspeculation frequencies.
 func BenchmarkTable5Speculation(b *testing.B) {

@@ -103,6 +103,11 @@ type Result struct {
 	NsImproved     int
 	AllocsImproved int
 	Regressions    []string
+	// New lists benchmarks present only in the newer record. A new
+	// benchmark has no history to regress against, so it is reported
+	// (its first record becomes the baseline the next comparison
+	// enforces) rather than failed.
+	New []string
 }
 
 // minNsIters is the iteration count below which a recorded ns/op is
@@ -138,6 +143,7 @@ func compare(oldRep, newRep Report, maxNsRegress float64) Result {
 	for _, nb := range newRep.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
+			res.New = append(res.New, nb.Name)
 			continue
 		}
 		res.Compared++

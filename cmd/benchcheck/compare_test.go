@@ -26,7 +26,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		bench("Fast", 1100, 10),  // +10% ns: within the 15% budget
 		bench("Guarded", 480, 1), // allocs regression: must fail
 		bench("Slow", 2400, 90),  // +20% ns: must fail
-		bench("Added", 1, 1),     // no baseline: ignored
+		bench("Added", 1, 1),     // no baseline: reported as new, never failed
 	}}
 	res := compare(oldRep, newRep, 0.15)
 	if res.Compared != 3 {
@@ -47,6 +47,34 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 	if res.AllocsImproved != 1 { // Slow 100 -> 90
 		t.Errorf("AllocsImproved = %d, want 1", res.AllocsImproved)
+	}
+	if len(res.New) != 1 || res.New[0] != "Added" {
+		t.Errorf("New = %v, want [Added]", res.New)
+	}
+}
+
+// TestCompareReportsNewBenchmarksWithoutFailing pins the history-growth
+// rule: a benchmark that first appears in the newest record is reported
+// (so the trajectory gaining a point is visible) but is not a
+// regression — its first record becomes the baseline the next
+// comparison enforces.
+func TestCompareReportsNewBenchmarksWithoutFailing(t *testing.T) {
+	oldRep := Report{Benchmarks: []Benchmark{bench("Old", 100, 5)}}
+	newRep := Report{Benchmarks: []Benchmark{
+		bench("Old", 100, 5),
+		bench("BrandNew", 900, 900),
+		bench("AlsoNew", 1, 0),
+	}}
+	res := compare(oldRep, newRep, 0.15)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("new benchmarks flagged as regressions: %v", res.Regressions)
+	}
+	if len(res.New) != 2 {
+		t.Fatalf("New = %v, want 2 entries", res.New)
+	}
+	joined := strings.Join(res.New, "\n")
+	if !strings.Contains(joined, "BrandNew") || !strings.Contains(joined, "AlsoNew") {
+		t.Errorf("New = %v, want BrandNew and AlsoNew", res.New)
 	}
 }
 

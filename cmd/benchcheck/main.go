@@ -12,6 +12,10 @@
 //     (single-shot timings of full study simulations are noise, not
 //     measurements; allocation counts are exact at any count).
 //
+// Benchmarks appearing for the first time in the newest record are
+// reported (not failed): they have no history to regress against, and
+// their first record becomes the baseline the next comparison enforces.
+//
 // `make bench-check` wires it into `make check`, so a PR that lands a new
 // BENCH_PR<N>.json point proves on the spot that it did not walk back the
 // previous one. With fewer than two records the check passes trivially.
@@ -59,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	result := compare(oldRep, newRep, cfg.maxNsRegress)
 	fmt.Fprintf(stdout, "benchcheck: %s -> %s: %d benchmarks compared, %d improved ns/op, %d reduced allocs/op\n",
 		oldPath, newPath, result.Compared, result.NsImproved, result.AllocsImproved)
+	for _, name := range result.New {
+		fmt.Fprintf(stdout, "benchcheck: NEW %s (no history; this record is its baseline)\n", name)
+	}
 	for _, r := range result.Regressions {
 		fmt.Fprintf(stdout, "benchcheck: REGRESSION %s\n", r)
 	}

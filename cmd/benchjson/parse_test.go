@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -57,6 +58,38 @@ func TestParse(t *testing.T) {
 
 	if report.Benchmarks[2].Name != "KernelSchedule-8" {
 		t.Errorf("name with GOMAXPROCS suffix = %q", report.Benchmarks[2].Name)
+	}
+}
+
+// TestParseFoldsRepeatedSamplesToMin pins the -count=K contract: a
+// benchmark appearing several times collapses into one entry holding the
+// per-metric minimum, so a single noisy sample cannot inflate (or, for
+// custom deterministic metrics, change) the recorded point.
+func TestParseFoldsRepeatedSamplesToMin(t *testing.T) {
+	log := `BenchmarkCacheHit 	1000	 190 ns/op	 0 B/op	 0 allocs/op
+BenchmarkCacheHit 	1000	 145 ns/op	 0 B/op	 0 allocs/op
+BenchmarkCacheHit 	1000	 162 ns/op	 0 B/op	 0 allocs/op
+BenchmarkOther 	3	 100 ns/op	 7 allocs/op
+`
+	report, err := parse(strings.NewReader(log), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (samples folded)", len(report.Benchmarks))
+	}
+	hit := report.Benchmarks[0]
+	if hit.Name != "CacheHit" {
+		t.Fatalf("name = %q", hit.Name)
+	}
+	if hit.Metrics["ns/op"] != 145 {
+		t.Errorf("ns/op = %v, want the 145 minimum", hit.Metrics["ns/op"])
+	}
+	if hit.Iterations != 1000 {
+		t.Errorf("iterations = %d, want 1000", hit.Iterations)
+	}
+	if report.Benchmarks[1].Metrics["allocs/op"] != 7 {
+		t.Errorf("single-sample benchmark altered: %+v", report.Benchmarks[1])
 	}
 }
 

@@ -20,9 +20,10 @@ var experiments = []string{
 // handling lives here, separated from main's orchestration, so the
 // flag→StudyConfig mapping is unit-testable.
 type options struct {
-	Only  string
-	Seeds []int64
-	Cfg   specdsm.StudyConfig
+	Only     string
+	Seeds    []int64
+	Progress bool
+	Cfg      specdsm.StudyConfig
 }
 
 // parseOptions builds options from raw command-line arguments (without
@@ -39,6 +40,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 		nodes    = fs.Int("nodes", 16, "machine size")
 		seeds    = fs.String("seeds", "", "comma-separated seeds: aggregate Figure 9 across them")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = one per CPU; 1 = sequential)")
+		progress = fs.Bool("progress", false, "log per-simulation completion progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -48,7 +50,8 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	}
 
 	o := options{
-		Only: *only,
+		Only:     *only,
+		Progress: *progress,
 		Cfg: specdsm.StudyConfig{
 			Nodes:      *nodes,
 			Scale:      *scale,

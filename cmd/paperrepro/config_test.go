@@ -30,6 +30,26 @@ func TestParseOptionsDefaults(t *testing.T) {
 	}
 }
 
+func TestParseOptionsProgress(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Progress {
+		t.Fatal("progress must default off")
+	}
+	o, err = parseOptions([]string{"-progress"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Progress {
+		t.Fatal("-progress not parsed")
+	}
+	if o.Cfg.OnJobDone != nil {
+		t.Fatal("parseOptions must not install the hook itself (run wires it to stderr)")
+	}
+}
+
 func TestParseOptionsFullFlagSet(t *testing.T) {
 	o, err := parseOptions([]string{
 		"-only", "fig9", "-scale", "0.5", "-seed", "7", "-iters", "3",

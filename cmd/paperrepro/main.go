@@ -8,6 +8,7 @@
 //	paperrepro -seed 7
 //	paperrepro -parallel 8     # simulations per batch; output is
 //	                           # byte-identical for every -parallel value
+//	paperrepro -progress       # per-simulation completion log on stderr
 //
 // Simulated results depend only on the flags (runs are deterministic):
 // the sweep engine merges parallel simulation results back in submission
@@ -18,10 +19,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"specdsm"
+	"specdsm/internal/sweep"
 )
 
 func main() {
@@ -41,6 +44,12 @@ func main() {
 
 func run(o options) error {
 	cfg := o.Cfg
+	if o.Progress {
+		// Per-simulation completion lines on stderr (stdout carries only
+		// the reproduced tables/figures, byte-identical either way).
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		cfg.OnJobDone = sweep.Progress(logger)
+	}
 	if o.want("table1") {
 		fmt.Println(specdsm.RenderTable1())
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"specdsm/internal/analytic"
 	"specdsm/internal/core"
+	"specdsm/internal/machine"
 	"specdsm/internal/sweep"
 )
 
@@ -27,6 +29,13 @@ type StudyConfig struct {
 	// this knob: every study merges job results in submission order, so
 	// Parallel: 1 and Parallel: N produce identical output.
 	Parallel int
+	// OnJobDone, when non-nil, is invoked after every completed
+	// simulation job with the job's index and wall-clock duration — live
+	// sweep progress on big matrices. Jobs complete concurrently and out
+	// of index order when Parallel > 1, so the callback must be safe for
+	// concurrent use (sweep.Progress wraps a log/slog logger suitably).
+	// The hook never affects study results.
+	OnJobDone func(index int, d time.Duration)
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -53,7 +62,11 @@ func (c StudyConfig) withDefaults() StudyConfig {
 
 // pool builds the worker pool all study drivers fan their simulation
 // jobs out on. Call on a config that already has defaults applied.
-func (c StudyConfig) pool() *sweep.Pool { return sweep.New(c.Parallel) }
+func (c StudyConfig) pool() *sweep.Pool {
+	p := sweep.New(c.Parallel)
+	p.OnJobDone = c.OnJobDone
+	return p
+}
 
 func (c StudyConfig) workloadParams() WorkloadParams {
 	return WorkloadParams{
@@ -82,7 +95,8 @@ func (a AppPrediction) Get(kind PredictorKind, depth int) PredictorResult {
 // PredictorStudy runs Base-DSM once per application with all predictor
 // variants attached passively, yielding the data behind Figures 7-8 and
 // Tables 3-4. The per-application runs execute on a cfg.Parallel-wide
-// worker pool; the result order is always cfg.Apps order.
+// worker pool, each worker replaying its jobs through one run arena;
+// the result order is always cfg.Apps order.
 func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
 	cfg = cfg.withDefaults()
 	var observers []PredictorConfig
@@ -91,14 +105,14 @@ func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
 			observers = append(observers, PredictorConfig{Kind: kind, Depth: d})
 		}
 	}
-	return sweep.Map(context.Background(), cfg.pool(), len(cfg.Apps),
-		func(_ context.Context, i int) (AppPrediction, error) {
+	return sweep.MapWorker(context.Background(), cfg.pool(), len(cfg.Apps), machine.NewArena,
+		func(_ context.Context, arena *machine.Arena, i int) (AppPrediction, error) {
 			app := cfg.Apps[i]
 			w, err := AppWorkload(app, cfg.workloadParams())
 			if err != nil {
 				return AppPrediction{}, err
 			}
-			res, err := Run(w, MachineOptions{
+			res, err := runInArena(arena, w, MachineOptions{
 				Mode:          ModeBase,
 				Observers:     observers,
 				DisableChecks: cfg.DisableChecks,
@@ -134,9 +148,10 @@ var specModes = [3]Mode{ModeBase, ModeFR, ModeSWI}
 // SpeculationStudy runs every application under Base-DSM, FR-DSM, and
 // SWI-DSM (VMSP depth 1 active, as in the paper), yielding the data
 // behind Figure 9 and Table 5. Workload generation happens once per
-// application up front (it is cheap and its programs are read-only
-// during simulation), then all len(Apps)×3 simulations fan out across
-// the cfg.Parallel-wide worker pool.
+// application up front (served by the generation cache; programs are
+// read-only during simulation), then all len(Apps)×3 simulations fan
+// out across the cfg.Parallel-wide worker pool, one run arena per
+// worker.
 func SpeculationStudy(cfg StudyConfig) ([]AppSpeculation, error) {
 	cfg = cfg.withDefaults()
 	return speculationApps(cfg.pool(), cfg, cfg.workloadParams())
@@ -153,11 +168,11 @@ func speculationApps(pool *sweep.Pool, cfg StudyConfig, wp WorkloadParams) ([]Ap
 		}
 		workloads[i] = w
 	}
-	runs, err := sweep.Map(context.Background(), pool, len(cfg.Apps)*len(specModes),
-		func(_ context.Context, j int) (*RunResult, error) {
+	runs, err := sweep.MapWorker(context.Background(), pool, len(cfg.Apps)*len(specModes), machine.NewArena,
+		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
 			w := workloads[j/len(specModes)]
 			mode := specModes[j%len(specModes)]
-			return Run(w, MachineOptions{Mode: mode, DisableChecks: cfg.DisableChecks})
+			return runInArena(arena, w, MachineOptions{Mode: mode, DisableChecks: cfg.DisableChecks})
 		})
 	if err != nil {
 		return nil, err

@@ -77,6 +77,60 @@ func BenchmarkPredictReaders(b *testing.B) {
 	}
 }
 
+// TestPredictReadersSteadyStateZeroAllocs is the acceptance guard for
+// the FR/SWI speculation surface: with the pattern tables warm, the full
+// speculation round — PredictReaders (whose entry handles now live in
+// the ReadPrediction's inline prefix), AssumeReaders for the forwarded
+// copies (history pushes land in retained, pre-sized tables), a
+// RetractReader, and a Prune on the returned handle — must not touch the
+// heap, for every predictor kind. This finishes the zero-alloc path that
+// TestObserveSteadyStateZeroAllocs pins for the observation side.
+func TestPredictReadersSteadyStateZeroAllocs(t *testing.T) {
+	for _, kind := range []Kind{KindCosmos, KindMSP, KindVMSP} {
+		p := New(kind, 1)
+		for i := 0; i < 4; i++ {
+			feed(p, producerConsumerIter()...)
+		}
+		// advance replays the producer's write phase so the block's
+		// history returns to the read-predicting point of the cycle
+		// (Cosmos also tracks the two invalidation acks, so its history
+		// must include them to land on the same point).
+		advance := func() {
+			p.Observe(blk, obs(MsgUpgrade, 3))
+			if kind == KindCosmos {
+				p.Observe(blk, obs(MsgAckInv, 1))
+				p.Observe(blk, obs(MsgAckInv, 2))
+			}
+		}
+		advance()
+		// One warm speculation round so AssumeReaders' scoreless pushes
+		// have created every pattern entry the cycle will ever need.
+		rp, ok := p.PredictReaders(blk)
+		if !ok {
+			t.Fatalf("%v: no read prediction after warmup", kind)
+		}
+		p.AssumeReaders(blk, rp.Readers)
+		advance()
+		// outsider is a node never part of the predicted reader set:
+		// retracting and pruning it exercises the verification surfaces
+		// without mutating the learned cycle.
+		const outsider = mem.NodeID(15)
+		avg := testing.AllocsPerRun(1000, func() {
+			rp, ok := p.PredictReaders(blk)
+			if !ok {
+				t.Fatal("prediction lost")
+			}
+			p.AssumeReaders(blk, rp.Readers)
+			p.RetractReader(blk, outsider)
+			rp.Prune(outsider)
+			advance()
+		})
+		if avg != 0 {
+			t.Errorf("%v: steady-state PredictReaders round allocates %.2f/op, want 0", kind, avg)
+		}
+	}
+}
+
 // TestObserveSteadyStateZeroAllocs is the acceptance guard for the packed
 // pattern keys: once a pattern is learned, re-observing it must not touch
 // the heap, for every predictor kind and evaluated depth.

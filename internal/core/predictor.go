@@ -160,16 +160,45 @@ func (g SWIGuard) MarkPremature() {
 	}
 }
 
+// readPredPrefix is the inline entry capacity of a ReadPrediction. A
+// VMSP prediction holds exactly one entry and an MSP/Cosmos chain one
+// entry per chained reader, so the common cases fit the prefix and
+// PredictReaders allocates nothing; only chains deeper than the prefix
+// spill into the overflow slice.
+const readPredPrefix = 4
+
 // ReadPrediction is a predicted upcoming reader set plus the pattern-table
 // entries that produced it, so that misspeculation verification can prune
 // readers that never referenced a speculatively forwarded block. Like
 // SWIGuard, it holds entry indices; Prune on a prediction issued before a
-// Reset is a no-op.
+// Reset is a no-op. The first readPredPrefix indices live inline in the
+// value itself (no heap allocation); longer chains append the remainder
+// to the overflow slice.
 type ReadPrediction struct {
-	Readers mem.ReaderVec
-	store   *entryStore
-	gen     uint32
-	entries []int32
+	Readers  mem.ReaderVec
+	store    *entryStore
+	gen      uint32
+	n        int32
+	prefix   [readPredPrefix]int32
+	overflow []int32
+}
+
+// addEntry records one more pattern-table index behind the prediction.
+func (rp *ReadPrediction) addEntry(idx int32) {
+	if int(rp.n) < len(rp.prefix) {
+		rp.prefix[rp.n] = idx
+	} else {
+		rp.overflow = append(rp.overflow, idx)
+	}
+	rp.n++
+}
+
+// entryAt returns the i-th recorded index (0 ≤ i < rp.n).
+func (rp *ReadPrediction) entryAt(i int32) int32 {
+	if int(i) < len(rp.prefix) {
+		return rp.prefix[i]
+	}
+	return rp.overflow[int(i)-len(rp.prefix)]
 }
 
 // Prune removes node n from the pattern entries behind this prediction.
@@ -179,8 +208,8 @@ func (rp ReadPrediction) Prune(n mem.NodeID) {
 	if rp.store == nil || rp.gen != rp.store.gen {
 		return
 	}
-	for _, idx := range rp.entries {
-		e := rp.store.at(idx)
+	for i := int32(0); i < rp.n; i++ {
+		e := rp.store.at(rp.entryAt(i))
 		if !e.pred.Valid() {
 			continue
 		}

@@ -437,7 +437,9 @@ func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
 		if e.pred.Type != MsgRead || e.pred.Vec.Empty() || !p.confident(e) {
 			return ReadPrediction{}, false
 		}
-		return ReadPrediction{Readers: e.pred.Vec, store: p.store, gen: p.store.gen, entries: []int32{idx}}, true
+		rp := ReadPrediction{Readers: e.pred.Vec, store: p.store, gen: p.store.gen}
+		rp.addEntry(idx)
+		return rp, true
 	}
 
 	// Chain expansion over a stack copy of the packed history key (the
@@ -458,7 +460,7 @@ func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
 			break
 		}
 		rp.Readers = rp.Readers.With(e.pred.Node)
-		rp.entries = append(rp.entries, idx)
+		rp.addEntry(idx)
 		n = key.push(e.pred, n, p.depth)
 	}
 	if rp.Readers.Empty() {

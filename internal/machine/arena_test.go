@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"specdsm/internal/core"
+	"specdsm/internal/mem"
+	"specdsm/internal/sim"
+)
+
+// arenaProgs generates a deterministic synthetic workload exercising
+// every machine surface the arena must reset: remote reads and writes
+// (producer/consumer and migratory blocks), compute delays, barriers,
+// and a contended lock.
+func arenaProgs(shape string, nodes int, seed int64) []Program {
+	rng := rand.New(rand.NewSource(seed))
+	progs := make([]Program, nodes)
+	shared := make([]mem.BlockAddr, 2*nodes)
+	for i := range shared {
+		shared[i] = mem.MakeAddr(mem.NodeID(i%nodes), uint64(i/nodes))
+	}
+	iters := 4
+	for it := 0; it < iters; it++ {
+		for n := 0; n < nodes; n++ {
+			blk := shared[(n+it)%len(shared)]
+			switch shape {
+			case "pc": // producer writes, two consumers read
+				progs[n] = append(progs[n], Write(blk), Compute(sim.Cycle(10+rng.Intn(20))))
+				progs[n] = append(progs[n], Read(shared[(n+it+1)%len(shared)]))
+			case "mig": // read-then-write migration chain with a lock
+				progs[n] = append(progs[n], Lock(0), Read(blk), Write(blk), Unlock(0))
+				progs[n] = append(progs[n], Compute(sim.Cycle(5+rng.Intn(10))))
+			}
+		}
+		for n := range progs {
+			progs[n] = append(progs[n], Barrier())
+		}
+	}
+	return progs
+}
+
+func arenaCfg(mode string) Config {
+	cfg := Config{Nodes: 4}
+	switch mode {
+	case "base":
+	case "swi":
+		cfg.EnableFR = true
+		cfg.EnableSWI = true
+		cfg.Active = &PredictorSpec{Kind: core.KindVMSP, Depth: 1}
+		cfg.Observers = []PredictorSpec{{Kind: core.KindMSP, Depth: 2}}
+	}
+	return cfg
+}
+
+// TestArenaResetEquivalence is the tentpole contract: a machine reused
+// through an Arena produces results deep-equal to a freshly built
+// machine for every job, across two workload shapes, two seeds, and two
+// machine configurations — interleaved so every reuse follows a
+// different (workload, config) than the one that warmed the machine.
+func TestArenaResetEquivalence(t *testing.T) {
+	arena := NewArena()
+	for _, seed := range []int64{11, 23} {
+		for _, shape := range []string{"pc", "mig"} {
+			for _, mode := range []string{"base", "swi"} {
+				progs := arenaProgs(shape, 4, seed)
+				fresh, err := New(arenaCfg(mode)).Run(progs)
+				if err != nil {
+					t.Fatalf("%s/%s/seed%d fresh: %v", shape, mode, seed, err)
+				}
+				reused, err := arena.Run(arenaCfg(mode), progs)
+				if err != nil {
+					t.Fatalf("%s/%s/seed%d arena: %v", shape, mode, seed, err)
+				}
+				if !reflect.DeepEqual(fresh, reused) {
+					t.Errorf("%s/%s/seed%d: arena result diverged from fresh build\nfresh:  %+v\nreused: %+v",
+						shape, mode, seed, fresh, reused)
+				}
+			}
+		}
+	}
+	if n := arena.Machines(); n != 2 {
+		t.Errorf("arena holds %d machines, want 2 (one per distinct config)", n)
+	}
+}
+
+// TestArenaRepeatedReuseStable replays the same job many times through
+// one arena machine: any state leaking across runs would drift the
+// result.
+func TestArenaRepeatedReuseStable(t *testing.T) {
+	arena := NewArena()
+	progs := arenaProgs("pc", 4, 7)
+	first, err := arena.Run(arenaCfg("swi"), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := arena.Run(arenaCfg("swi"), progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("reuse %d drifted:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+}
+
+// TestMachineRearmZeroAllocs guards the re-arm path: once a machine has
+// run, Reset re-arms it for the next workload without touching the heap
+// (tables, queues, dense slices, and pools are all retained).
+func TestMachineRearmZeroAllocs(t *testing.T) {
+	m := New(arenaCfg("swi"))
+	progs := arenaProgs("pc", 4, 7)
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		m.Reset()
+	})
+	if avg != 0 {
+		t.Errorf("Machine.Reset allocates %.2f/op, want 0", avg)
+	}
+	// The machine must still be runnable (and correct) after the guard's
+	// resets.
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -273,17 +273,56 @@ func (m *Machine) AttachObserver(p core.Predictor) {
 	}
 }
 
+// Reset re-arms a machine that has completed a run so it can Run again:
+// the kernel clock, network, protocol system, predictors, barriers, and
+// locks all return to their just-constructed state while retaining their
+// storage (tables, dense slices, queues, event pools). A reset machine
+// is observably equivalent to a freshly built one with the same Config —
+// the contract pinned by the arena reset-equivalence tests — which is
+// what lets Arena replay many workloads through one machine without
+// paying construction again. Call only after Run has returned.
+func (m *Machine) Reset() {
+	m.kernel.Reset()
+	m.sys.Reset()
+	for _, obs := range m.observers {
+		for _, p := range obs {
+			p.Reset()
+		}
+	}
+	for _, a := range m.actives {
+		if a != nil {
+			a.Reset()
+		}
+	}
+	for _, b := range m.barriers {
+		b.waiters = b.waiters[:0]
+	}
+	for _, l := range m.locks {
+		l.held = false
+		l.owner = 0
+		l.queue = l.queue[:0]
+	}
+	m.running = 0
+}
+
 // Run executes one program per node to completion and returns the
 // aggregated result. It errors if programs deadlock (unbalanced barriers,
-// abandoned locks) or the event guard trips.
+// abandoned locks) or the event guard trips. Run may be called again on
+// the same machine after Reset; processors are then re-armed in place
+// rather than rebuilt.
 func (m *Machine) Run(programs []Program) (*Result, error) {
 	if len(programs) != m.cfg.Nodes {
 		return nil, fmt.Errorf("machine: %d programs for %d nodes", len(programs), m.cfg.Nodes)
 	}
-	m.procs = make([]*proc, m.cfg.Nodes)
+	if m.procs == nil {
+		m.procs = make([]*proc, m.cfg.Nodes)
+		for i := range m.procs {
+			m.procs[i] = newProc(m, mem.NodeID(i), nil)
+		}
+	}
 	for i := range programs {
-		p := newProc(m, mem.NodeID(i), programs[i])
-		m.procs[i] = p
+		p := m.procs[i]
+		p.rearm(programs[i])
 		m.running++
 		m.kernel.At(0, p.stepFn)
 	}

@@ -46,6 +46,19 @@ func newProc(m *Machine, id mem.NodeID, prog Program) *proc {
 	return p
 }
 
+// rearm points the processor at a new program and zeroes all execution
+// state, leaving the pre-bound callbacks in place. A re-armed processor
+// behaves identically to a freshly constructed one.
+func (p *proc) rearm(prog Program) {
+	p.prog = prog
+	p.pc = 0
+	p.compute, p.sync, p.reqWait = 0, 0, 0
+	p.accesses, p.hits, p.specHits, p.locals, p.remotes = 0, 0, 0, 0, 0
+	p.finished = false
+	p.finishTime = 0
+	p.waitStart = 0
+}
+
 func (p *proc) step() {
 	if p.pc >= len(p.prog) {
 		p.finished = true

@@ -151,6 +151,20 @@ func (nw *Network[T]) DeliverLocal(src, dst mem.NodeID, delay sim.Cycle, payload
 	nw.kernel.At(nw.kernel.Now()+delay, m.deliver)
 }
 
+// Reset re-arms the network for a fresh run on a reset kernel: NI
+// occupancy horizons return to cycle 0 and the counters clear. Handlers
+// and the carrier pool are retained (carriers already hold zeroed
+// payloads when pooled), so a reused network reaches steady state
+// without reallocating. Must not be called with messages in flight.
+func (nw *Network[T]) Reset() {
+	clear(nw.sendFree)
+	clear(nw.recvFree)
+	nw.sent = 0
+	nw.delivered = 0
+	nw.sendQueueCycles = 0
+	nw.recvQueueCycles = 0
+}
+
 // Stats reports message and contention counters.
 type Stats struct {
 	Sent            uint64

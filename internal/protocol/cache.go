@@ -99,6 +99,22 @@ func newCache(n *Node) *cache {
 	return &cache{n: n}
 }
 
+// reset re-arms the cache for a fresh run: the block table and dense
+// lines slice are cleared but their storage is retained (zeroing the
+// vacated elements so stale completion closures are not pinned), and the
+// counters return to zero. The done-event pool is kept. A reset cache is
+// observably equivalent to a freshly constructed one: line indices are
+// re-assigned by first touch, which the workload determines.
+func (c *cache) reset() {
+	c.table.Reset()
+	clear(c.lines)
+	c.lines = c.lines[:0]
+	c.stats = CacheStats{}
+	c.pendCount = 0
+	c.valid = 0
+	c.useClock = 0
+}
+
 // line returns addr's line, creating it (invalid) on first touch. The
 // pointer is only valid until the next line creation (slice growth); it
 // must not be held across scheduled events.

@@ -221,7 +221,9 @@ func newDirectory(n *Node) *directory {
 }
 
 // entryIdx returns the stable index of addr's entry, creating the entry
-// on first touch.
+// on first touch. Creation within the slice's capacity re-initializes
+// the vacated element in place, keeping the waitq/specPending backing
+// arrays a previous run left behind (see reset) instead of dropping them.
 func (d *directory) entryIdx(addr mem.BlockAddr) int32 {
 	if idx, ok := d.table.Get(addr); ok {
 		return idx
@@ -230,9 +232,39 @@ func (d *directory) entryIdx(addr mem.BlockAddr) int32 {
 		panic(fmt.Sprintf("protocol: block %v is not homed at node %d", addr, d.n.id))
 	}
 	idx := int32(len(d.entries))
-	d.entries = append(d.entries, dirEntry{addr: addr, owner: mem.NoNode})
+	if int(idx) < cap(d.entries) {
+		d.entries = d.entries[:idx+1]
+		e := &d.entries[idx]
+		wq, sp := e.waitq[:0], e.specPending[:0]
+		*e = dirEntry{addr: addr, owner: mem.NoNode, waitq: wq, specPending: sp}
+	} else {
+		d.entries = append(d.entries, dirEntry{addr: addr, owner: mem.NoNode})
+	}
 	d.table.Put(addr, idx)
 	return idx
+}
+
+// reset re-arms the directory for a fresh run: the block table, dense
+// entries slice, input queue, occupancy horizon, and counters clear,
+// retaining all storage — including each retired entry's waitq and
+// specPending backing arrays, which entryIdx re-adopts when the slot is
+// reused. The grant and transaction pools are kept. Entries must be
+// quiescent (no live transaction, empty waitq), which a completed run
+// guarantees via CheckQuiescent.
+func (d *directory) reset() {
+	d.table.Reset()
+	for i := range d.entries {
+		e := &d.entries[i]
+		// Zero the record but keep the slice headers for reuse; the queues
+		// hold only values (and pooled-store handles), so truncation alone
+		// retires their contents.
+		*e = dirEntry{waitq: e.waitq[:0], specPending: e.specPending[:0]}
+	}
+	d.entries = d.entries[:0]
+	d.free = 0
+	d.stats = DirStats{}
+	d.inq = d.inq[:0]
+	d.inqHead = 0
 }
 
 // entry returns addr's entry, creating it on first touch. The pointer is

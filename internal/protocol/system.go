@@ -143,6 +143,26 @@ func NewSystem(k *sim.Kernel, n int, timing Timing, netCfg network.Config, opts 
 	return s
 }
 
+// Reset re-arms the system for a fresh run on a reset kernel: every
+// node's cache, directory, and early-write-invalidate table clear (all
+// retaining their storage), the network's occupancy horizons and
+// counters clear, and the coherence checker forgets its version history.
+// Attached predictors are NOT reset — they belong to the caller (the
+// machine layer owns and resets them alongside this call). Call only on
+// a quiescent system (a completed run); a reset system is observably
+// equivalent to a freshly constructed one.
+func (s *System) Reset() {
+	for _, n := range s.nodes {
+		n.cache.reset()
+		n.dir.reset()
+		n.ewi.Reset()
+	}
+	s.net.Reset()
+	clear(s.latest)
+	clear(s.observed)
+	s.violations = s.violations[:0]
+}
+
 // Node returns node id.
 func (s *System) Node(id mem.NodeID) *Node { return s.nodes[id] }
 

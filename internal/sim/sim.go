@@ -124,6 +124,21 @@ func (k *Kernel) After(delay Cycle, fn func()) {
 // Stop makes Run return after the currently dispatching event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// Reset re-arms the kernel for a fresh run: the clock returns to cycle 0,
+// the insertion-sequence counter restarts (so tie-breaking replays
+// identically), and the executed count clears. Queued events are
+// discarded but the heap's backing array is retained; the vacated slots
+// are zeroed so no stale closure stays pinned. A reset kernel is
+// observably equivalent to a freshly constructed one.
+func (k *Kernel) Reset() {
+	clear(k.queue)
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.stopped = false
+	k.executed = 0
+}
+
 // Run dispatches events in order until the queue drains, Stop is called,
 // or maxEvents events have executed (0 means no limit). It returns the
 // number of events executed by this call.

@@ -18,4 +18,17 @@
 //
 // A Pool with one worker executes jobs strictly sequentially on the
 // calling goroutine — byte-identical to the pre-pool study loops.
+//
+// MapWorker and StreamWorker add worker-local state to the same
+// contract: each worker goroutine lazily builds one state value
+// (typically a machine.Arena that amortizes simulated-machine
+// construction across the worker's jobs) and threads it through every
+// job it claims. State never crosses workers; since job results must not
+// depend on which worker ran them, the ordered-merge guarantee is
+// unchanged.
+//
+// Pool.OnJobDone is an optional per-job completion hook (index +
+// wall-clock duration) for live progress on big matrices; Progress
+// adapts it to a log/slog logger. The hook observes jobs, never
+// influences them.
 package sweep

@@ -3,17 +3,26 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Pool sizes the worker set for Map and Stream. The zero value and
-// New(0) both select runtime.NumCPU() workers. Pools are stateless and
-// may be reused and shared freely.
+// Pool sizes the worker set for Map, Stream, and their worker-state
+// variants. The zero value and New(0) both select runtime.NumCPU()
+// workers. Pools carry no per-sweep state and may be reused and shared
+// freely; a non-nil OnJobDone must itself be safe for concurrent use.
 type Pool struct {
 	workers int
+	// OnJobDone, when non-nil, is invoked after every successfully
+	// completed job with the job's index and wall-clock duration, from
+	// the goroutine that ran the job — concurrently and out of index
+	// order on a multi-worker pool. It exists for progress reporting
+	// (see Progress) and must not affect results.
+	OnJobDone func(index int, d time.Duration)
 }
 
 // New returns a pool with the given worker count; n <= 0 selects
@@ -56,8 +65,21 @@ func (e *PanicError) Error() string {
 // dispatch of not-yet-started jobs and is reported as ctx.Err() unless
 // a job failure takes precedence.
 func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorker(ctx, p, n, nothing,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) })
+}
+
+// MapWorker is Map with worker-local state: every worker goroutine calls
+// newState once, lazily, before its first job, and that state is passed
+// to each job the worker claims. It exists for expensive reusable
+// per-worker scaffolding — a machine.Arena that amortizes simulated
+// machine construction across a worker's jobs is the motivating case.
+// State never crosses workers, and fn must keep results independent of
+// which worker (and therefore which state instance) ran the job, so
+// output stays identical for every worker count.
+func MapWorker[S, T any](ctx context.Context, p *Pool, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Stream(ctx, p, n, fn, func(i int, v T) error {
+	err := StreamWorker(ctx, p, n, newState, fn, func(i int, v T) error {
 		out[i] = v
 		return nil
 	})
@@ -67,12 +89,21 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 	return out, nil
 }
 
+// nothing is the no-state constructor behind Map and Stream.
+func nothing() struct{} { return struct{}{} }
+
 // Stream runs fn for every index in [0, n) on the pool and delivers
 // each result to emit in index order, as soon as the result and all of
 // its predecessors are available. emit always runs on the calling
 // goroutine and is never invoked for an index at or beyond a failed
 // one. A non-nil error from emit stops the sweep and is returned.
 func Stream[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error), emit func(i int, v T) error) error {
+	return StreamWorker(ctx, p, n, nothing,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) }, emit)
+}
+
+// StreamWorker is Stream with worker-local state (see MapWorker).
+func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -81,7 +112,7 @@ func Stream[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 		workers = n
 	}
 	if workers == 1 {
-		return streamSeq(ctx, n, fn, emit)
+		return streamSeq(ctx, p, n, newState, fn, emit)
 	}
 
 	type item struct {
@@ -101,6 +132,13 @@ func Stream[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local state is built lazily: a worker that never
+			// claims a job (all indices taken, or an early failure) never
+			// pays for it.
+			var (
+				state    S
+				hasState bool
+			)
 			for {
 				if stop.Load() || ctx.Err() != nil {
 					return
@@ -109,7 +147,11 @@ func Stream[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 				if i >= n {
 					return
 				}
-				v, err := runJob(ctx, i, fn)
+				if !hasState {
+					state = newState()
+					hasState = true
+				}
+				v, err := runJob(ctx, p, state, i, fn)
 				results <- item{i: i, v: v, err: err}
 			}
 		}()
@@ -170,14 +212,15 @@ func Stream[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 }
 
 // streamSeq is the one-worker fast path: in-order execution on the
-// calling goroutine, stopping at the first failure — the exact shape of
-// the study loops the pool replaced.
-func streamSeq[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), emit func(i int, v T) error) error {
+// calling goroutine with a single state instance, stopping at the first
+// failure — the exact shape of the study loops the pool replaced.
+func streamSeq[S, T any](ctx context.Context, p *Pool, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error) error {
+	state := newState()
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		v, err := runJob(ctx, i, fn)
+		v, err := runJob(ctx, p, state, i, fn)
 		if err != nil {
 			return err
 		}
@@ -188,11 +231,45 @@ func streamSeq[T any](ctx context.Context, n int, fn func(ctx context.Context, i
 	return nil
 }
 
-func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+func runJob[S, T any](ctx context.Context, p *Pool, s S, i int, fn func(ctx context.Context, s S, i int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(ctx, i)
+	hook := p.jobDoneHook()
+	if hook == nil {
+		return fn(ctx, s, i)
+	}
+	start := time.Now()
+	v, err = fn(ctx, s, i)
+	if err == nil {
+		hook(i, time.Since(start))
+	}
+	return v, err
+}
+
+// jobDoneHook returns the pool's OnJobDone callback, tolerating nil
+// pools (which Workers already treats as a default pool).
+func (p *Pool) jobDoneHook() func(int, time.Duration) {
+	if p == nil {
+		return nil
+	}
+	return p.OnJobDone
+}
+
+// Progress returns an OnJobDone callback that reports each completed
+// job through logger at Info level, with the job's index, the running
+// count of completed jobs, and the job's wall-clock duration. The
+// returned callback is safe for concurrent use, so it can drive a
+// multi-worker pool directly:
+//
+//	pool := sweep.New(cfg.Parallel)
+//	pool.OnJobDone = sweep.Progress(slog.Default())
+func Progress(logger *slog.Logger) func(index int, d time.Duration) {
+	var done atomic.Int64
+	return func(index int, d time.Duration) {
+		logger.Info("sweep job done",
+			"index", index, "completed", done.Add(1), "dur", d.Round(time.Millisecond))
+	}
 }

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestProgramsCacheSharesGenerations checks that identical (app, Params)
+// requests return the same shared program set (same backing storage, not
+// a regeneration), while any parameter change produces a distinct one.
+func TestProgramsCacheSharesGenerations(t *testing.T) {
+	app, _ := ByName("em3d")
+	p := Params{Nodes: 8, Iterations: 3, Scale: 0.25, Seed: 11}
+	a := Programs(app, p)
+	b := Programs(app, p)
+	if &a[0][0] != &b[0][0] {
+		t.Fatal("identical requests returned distinct generations; cache miss")
+	}
+	p2 := p
+	p2.Seed = 12
+	c := Programs(app, p2)
+	if &a[0][0] == &c[0][0] {
+		t.Fatal("different seeds share one generation")
+	}
+	// Cached output must equal a direct generation.
+	if !reflect.DeepEqual(a, app.Generate(p)) {
+		t.Fatal("cached programs differ from direct generation")
+	}
+}
+
+// TestProgramsCacheConcurrent hammers one key from many goroutines; the
+// race detector checks the cache's synchronization and every caller must
+// observe an identical program set.
+func TestProgramsCacheConcurrent(t *testing.T) {
+	app, _ := ByName("moldyn")
+	p := Params{Nodes: 8, Iterations: 2, Scale: 0.25, Seed: 77}
+	want := Programs(app, p)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got := Programs(app, p)
+				if &got[0][0] != &want[0][0] {
+					t.Error("concurrent caller observed a different generation")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -14,5 +14,9 @@
 // the substitution argument).
 //
 // All randomness is drawn from a seeded source; generation is
-// deterministic for a given Params.
+// deterministic for a given Params — which is what lets Programs serve
+// repeated (app, Params) requests from a process-wide cache. Cached
+// program sets are shared across goroutines and machine runs and are
+// immutable by contract: the simulator only reads them, and no caller
+// may modify a returned Program.
 package workload

@@ -69,7 +69,11 @@ type WorkloadParams struct {
 	Seed       int64
 }
 
-// Workload is a generated multi-node program, ready to run.
+// Workload is a generated multi-node program, ready to run. The program
+// slices may be shared with other Workload values for the same
+// (application, parameters) — generation is served from a process-wide
+// cache — and are immutable: simulation only reads them, so one Workload
+// can back any number of concurrent runs.
 type Workload struct {
 	Name     string
 	Nodes    int
@@ -120,7 +124,7 @@ func AppWorkload(name string, p WorkloadParams) (Workload, error) {
 	if wp.Nodes == 0 {
 		wp.Nodes = 16
 	}
-	return Workload{Name: name, Nodes: wp.Nodes, programs: app.Generate(wp)}, nil
+	return Workload{Name: name, Nodes: wp.Nodes, programs: workload.Programs(app, wp)}, nil
 }
 
 // MicroPattern names a synthetic micro-workload for examples and tests.
@@ -323,6 +327,27 @@ func Run(w Workload, opts MachineOptions) (*RunResult, error) {
 	}
 	m := machine.New(cfg)
 	res, err := m.Run(w.programs)
+	if err != nil {
+		return nil, fmt.Errorf("specdsm: %s/%s: %w", w.Name, mode, err)
+	}
+	return convert(w, mode, cfg, res), nil
+}
+
+// runInArena is Run against a worker-local run arena: the simulated
+// machine for the options' configuration is built once per arena and
+// re-armed in place for every subsequent run, so a sweep worker pays
+// machine construction once per distinct configuration instead of once
+// per job. Results are identical to Run (the arena reset-equivalence
+// tests pin this).
+func runInArena(a *machine.Arena, w Workload, opts MachineOptions) (*RunResult, error) {
+	if len(w.programs) == 0 {
+		return nil, fmt.Errorf("specdsm: empty workload")
+	}
+	cfg, mode, err := buildConfig(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Run(cfg, w.programs)
 	if err != nil {
 		return nil, fmt.Errorf("specdsm: %s/%s: %w", w.Name, mode, err)
 	}
