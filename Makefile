@@ -7,16 +7,30 @@ SHELL := /bin/bash
 # BENCH_OUT names the trajectory point `make bench` records. Bump the PR
 # number when landing a perf PR so the old point stays committed next to
 # the new one and bench-check can diff them.
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: check fmt vet build test race bench benchsmoke bench-check
+.PHONY: check fmt vet build test race bench benchsmoke bench-check determinism
 
 # check is the full gate: formatting, vet, build, the test suite under
 # the race detector (the sweep engine is explicitly designed and tested
-# to be race-clean), a one-iteration benchmark smoke run so the benches
-# cannot silently rot, and the bench-history regression check over the
-# committed BENCH_PR<N>.json records.
-check: fmt vet build race benchsmoke bench-check
+# to be race-clean), the end-to-end determinism smoke, a one-iteration
+# benchmark smoke run so the benches cannot silently rot, and the
+# bench-history regression check over the committed BENCH_PR<N>.json
+# records.
+check: fmt vet build race determinism benchsmoke bench-check
+
+# determinism byte-compares a reduced-scale full paperrepro run at
+# -parallel 1 vs -parallel 8: the sweep engine's ordered-merge contract
+# ("output is byte-identical for every worker count") checked end to end
+# on every gate run, not just in unit tests. The bracketed wall-clock
+# lines are stripped before comparing — they are the one intentionally
+# non-deterministic part of the output.
+determinism:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/paperrepro ./cmd/paperrepro && \
+	$$tmp/paperrepro -scale 0.1 -parallel 1 | sed -E 's/\[[^]]*: [0-9].*\]/[time]/' > $$tmp/p1.txt && \
+	$$tmp/paperrepro -scale 0.1 -parallel 8 | sed -E 's/\[[^]]*: [0-9].*\]/[time]/' > $$tmp/p8.txt && \
+	cmp $$tmp/p1.txt $$tmp/p8.txt && echo "determinism: -parallel 1 == -parallel 8"
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -23,7 +23,12 @@ type options struct {
 	Only     string
 	Seeds    []int64
 	Progress bool
-	Cfg      specdsm.StudyConfig
+	// CPUProfile / MemProfile name pprof output files (empty = off), so
+	// perf work can attach real profiles to a study run instead of
+	// guessing at hot paths.
+	CPUProfile string
+	MemProfile string
+	Cfg        specdsm.StudyConfig
 }
 
 // parseOptions builds options from raw command-line arguments (without
@@ -41,6 +46,8 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 		seeds    = fs.String("seeds", "", "comma-separated seeds: aggregate Figure 9 across them")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = one per CPU; 1 = sequential)")
 		progress = fs.Bool("progress", false, "log per-simulation completion progress to stderr")
+		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -50,8 +57,10 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 	}
 
 	o := options{
-		Only:     *only,
-		Progress: *progress,
+		Only:       *only,
+		Progress:   *progress,
+		CPUProfile: *cpuprof,
+		MemProfile: *memprof,
 		Cfg: specdsm.StudyConfig{
 			Nodes:      *nodes,
 			Scale:      *scale,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -106,6 +107,50 @@ func TestParseOptionsErrors(t *testing.T) {
 				t.Fatalf("err = %v, want substring %q", err, tc.frag)
 			}
 		})
+	}
+}
+
+func TestParseOptionsProfileFlags(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CPUProfile != "" || o.MemProfile != "" {
+		t.Fatalf("profiles must default off, got %+v", o)
+	}
+	o, err = parseOptions([]string{"-cpuprofile", "cpu.out", "-memprofile", "mem.out"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CPUProfile != "cpu.out" || o.MemProfile != "mem.out" {
+		t.Fatalf("profile flags not parsed: %+v", o)
+	}
+}
+
+// TestProfilesWriteFiles drives the real collectors end to end: both
+// profile files must exist and be non-empty after a stopped run.
+func TestProfilesWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	o, err := parseOptions([]string{"-cpuprofile", cpu, "-memprofile", mem}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := startProfiles(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", f)
+		}
 	}
 }
 

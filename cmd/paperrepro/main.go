@@ -9,6 +9,8 @@
 //	paperrepro -parallel 8     # simulations per batch; output is
 //	                           # byte-identical for every -parallel value
 //	paperrepro -progress       # per-simulation completion log on stderr
+//	paperrepro -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                           # attach pprof profiles to the run
 //
 // Simulated results depend only on the flags (runs are deterministic):
 // the sweep engine merges parallel simulation results back in submission
@@ -21,6 +23,8 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"specdsm"
@@ -36,10 +40,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(o); err != nil {
+	stopProfiles, err := startProfiles(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	err = run(o)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles arms the pprof collectors the flags request and returns
+// the function that finalizes them: the CPU profile stops, and the heap
+// profile is written after a GC so it reflects live steady-state memory,
+// not transient garbage. Profiles observe the run without perturbing its
+// output (stdout carries only the reproduced tables either way).
+func startProfiles(o options) (stop func() error, err error) {
+	var cpuFile *os.File
+	if o.CPUProfile != "" {
+		cpuFile, err = os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("paperrepro: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("paperrepro: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("paperrepro: %w", err)
+			}
+		}
+		if o.MemProfile != "" {
+			f, err := os.Create(o.MemProfile)
+			if err != nil {
+				return fmt.Errorf("paperrepro: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("paperrepro: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run(o options) error {

@@ -30,11 +30,19 @@ func NewArena() *Arena {
 
 // Run executes one program per node on the arena's machine for cfg,
 // building the machine on first use of the configuration and resetting
-// it on every reuse. Results are identical to New(cfg).Run(programs).
+// it on every reuse. Network timing is not part of the machine's
+// identity: configurations differing only in NetCfg share one machine,
+// which is reconfigured in place per run (Network.Reconfigure), so a
+// latency sweep pays construction once per mode instead of once per
+// sweep point. Results are identical to New(cfg).Run(programs).
 func (a *Arena) Run(cfg Config, programs []Program) (*Result, error) {
+	cfg = cfg.withDefaults()
 	m, reused := a.machine(cfg)
 	if reused {
 		m.Reset()
+	}
+	if m.cfg.NetCfg != cfg.NetCfg {
+		m.ReconfigureNetwork(cfg.NetCfg)
 	}
 	return m.Run(programs)
 }
@@ -43,10 +51,11 @@ func (a *Arena) Run(cfg Config, programs []Program) (*Result, error) {
 // currently holds.
 func (a *Arena) Machines() int { return len(a.machines) }
 
-// machine fetches the machine for cfg, reporting whether it already ran
-// (and therefore needs a Reset before reuse); a miss builds it fresh.
+// machine fetches the machine for cfg (which must already have defaults
+// applied), reporting whether it already ran (and therefore needs a
+// Reset before reuse); a miss builds it fresh.
 func (a *Arena) machine(cfg Config) (*Machine, bool) {
-	key := cfg.withDefaults().arenaKey()
+	key := cfg.arenaKey()
 	if m, ok := a.machines[key]; ok {
 		return m, true
 	}
@@ -55,11 +64,13 @@ func (a *Arena) machine(cfg Config) (*Machine, bool) {
 	return m, false
 }
 
-// arenaKey serializes every behaviour-affecting Config field into a
+// arenaKey serializes every machine-identity Config field into a
 // comparable string (Config itself holds a slice and a pointer, so it
-// cannot be a map key directly). Call on a config that already has
-// defaults applied, so equivalent zero-value and explicit configs share
-// one machine.
+// cannot be a map key directly). NetCfg is deliberately omitted: network
+// timing is mutable on a built machine (ReconfigureNetwork), so configs
+// differing only there share one arena slot. Call on a config that
+// already has defaults applied, so equivalent zero-value and explicit
+// configs share one machine.
 func (c Config) arenaKey() string {
 	var b strings.Builder
 	b.Grow(96)
@@ -72,7 +83,6 @@ func (c Config) arenaKey() string {
 		c.Timing.HitLatency, c.Timing.LocalMem, c.Timing.BusOverhead,
 		c.Timing.FillOverhead, c.Timing.DirOccupancy, c.Timing.MemAccess,
 		c.Timing.CacheAccess, c.Timing.LocalHop,
-		c.NetCfg.FlightLatency, c.NetCfg.SendOccupancy, c.NetCfg.RecvOccupancy,
 		c.BarrierExit, c.LockTransfer,
 	} {
 		w(uint64(cy))

@@ -7,6 +7,7 @@ import (
 
 	"specdsm/internal/core"
 	"specdsm/internal/mem"
+	"specdsm/internal/network"
 	"specdsm/internal/sim"
 )
 
@@ -102,6 +103,64 @@ func TestArenaRepeatedReuseStable(t *testing.T) {
 		}
 		if !reflect.DeepEqual(first, again) {
 			t.Fatalf("reuse %d drifted:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+}
+
+// TestArenaReconfiguresNetwork pins the latency-sweep folding: configs
+// that differ only in network timing share one arena machine, which is
+// reconfigured in place per run and still produces results deep-equal to
+// a machine freshly built with that NetCfg — including when the sweep
+// revisits an earlier latency.
+func TestArenaReconfiguresNetwork(t *testing.T) {
+	arena := NewArena()
+	progs := arenaProgs("pc", 4, 7)
+	for _, flight := range []sim.Cycle{20, 80, 320, 20} {
+		cfg := arenaCfg("swi")
+		cfg.NetCfg = network.Config{FlightLatency: flight, SendOccupancy: 20, RecvOccupancy: 20}
+		fresh, err := New(cfg).Run(progs)
+		if err != nil {
+			t.Fatalf("flight %d fresh: %v", flight, err)
+		}
+		reused, err := arena.Run(cfg, progs)
+		if err != nil {
+			t.Fatalf("flight %d arena: %v", flight, err)
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Errorf("flight %d: reconfigured arena machine diverged from fresh build\nfresh:  %+v\nreused: %+v",
+				flight, fresh, reused)
+		}
+	}
+	if n := arena.Machines(); n != 1 {
+		t.Errorf("arena holds %d machines, want 1 (NetCfg must not split the key)", n)
+	}
+}
+
+// TestFixedLatenciesFitNearWheel asserts the model's fixed scheduling
+// delays — node timing, default and RTL-sweep network configs, barrier
+// and lock hand-off — all land on the kernel's O(1) near wheel. If a new
+// latency outgrows sim.WheelSpan the simulator stays correct (the
+// overflow heap absorbs it) but the hot path silently slows; this guard
+// makes that a conscious decision.
+func TestFixedLatenciesFitNearWheel(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	lat := map[string]sim.Cycle{
+		"HitLatency":   cfg.Timing.HitLatency,
+		"LocalMem":     cfg.Timing.LocalMem,
+		"BusOverhead":  cfg.Timing.BusOverhead,
+		"FillOverhead": cfg.Timing.FillOverhead,
+		"DirOccupancy": cfg.Timing.DirOccupancy,
+		"MemAccess":    cfg.Timing.MemAccess,
+		"CacheAccess":  cfg.Timing.CacheAccess,
+		"LocalHop":     cfg.Timing.LocalHop,
+		"BarrierExit":  cfg.BarrierExit,
+		"LockTransfer": cfg.LockTransfer,
+		"MinLatency":   cfg.NetCfg.SendOccupancy + cfg.NetCfg.FlightLatency + cfg.NetCfg.RecvOccupancy,
+		"RTLFlightMax": 320 + cfg.NetCfg.SendOccupancy + cfg.NetCfg.RecvOccupancy,
+	}
+	for name, c := range lat {
+		if c >= sim.WheelSpan {
+			t.Errorf("%s = %d cycles does not fit the near wheel (WheelSpan %d)", name, c, sim.WheelSpan)
 		}
 	}
 }

@@ -22,6 +22,9 @@
 // configuration shape: Arena.Run fetches or builds the machine for a
 // Config and replays each job through it, so an app×mode×seed matrix
 // pays construction once per distinct configuration per worker instead
-// of once per cell. Arenas are single-goroutine; sweep.MapWorker is the
+// of once per cell. Network timing is not part of a machine's identity —
+// Arena reconfigures the interconnect in place (ReconfigureNetwork), so
+// a latency sweep like RTLSweep shares one machine per mode across all
+// its sweep points. Arenas are single-goroutine; sweep.MapWorker is the
 // intended carrier.
 package machine

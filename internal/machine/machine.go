@@ -305,6 +305,16 @@ func (m *Machine) Reset() {
 	m.running = 0
 }
 
+// ReconfigureNetwork swaps the machine's interconnect timing in place, so
+// an arena can replay one built machine across sweep points that differ
+// only in network configuration (the RTL sweep's flight-latency axis).
+// Call between runs, next to Reset; the machine then behaves exactly like
+// one freshly built with the new NetCfg.
+func (m *Machine) ReconfigureNetwork(cfg network.Config) {
+	m.cfg.NetCfg = cfg
+	m.sys.ReconfigureNetwork(cfg)
+}
+
 // Run executes one program per node to completion and returns the
 // aggregated result. It errors if programs deadlock (unbalanced barriers,
 // abandoned locks) or the event guard trips. Run may be called again on

@@ -139,6 +139,10 @@ func (nw *Network[T]) Send(src, dst mem.NodeID, payload T) {
 	nw.sent++
 
 	m := nw.get(src, dst, payload, true)
+	// Occupancy + flight are fixed small latencies chosen to fit the
+	// kernel's near wheel (sim.WheelSpan covers every Config this repo
+	// sweeps), so arrival scheduling is O(1); only a deep send-queue
+	// backlog can push an arrival out to the overflow heap.
 	nw.kernel.At(done+nw.cfg.FlightLatency, m.arrive)
 }
 
@@ -148,7 +152,19 @@ func (nw *Network[T]) Send(src, dst mem.NodeID, payload T) {
 // shares the pooled carrier path.
 func (nw *Network[T]) DeliverLocal(src, dst mem.NodeID, delay sim.Cycle, payload T) {
 	m := nw.get(src, dst, payload, false)
-	nw.kernel.At(nw.kernel.Now()+delay, m.deliver)
+	// The local hop is a fixed small latency (Table 1's 12 cycles), so
+	// this schedules on the kernel's near wheel in O(1) — zero delay goes
+	// straight to the same-cycle dispatch ring.
+	nw.kernel.After(delay, m.deliver)
+}
+
+// Reconfigure replaces the interconnect timing parameters of a built
+// network, so one machine can be re-armed across sweep points that vary
+// only the fabric (the RTL sweep's flight-latency axis). Call only on a
+// quiescent network (no messages in flight), typically next to Reset;
+// subsequent sends price at the new configuration.
+func (nw *Network[T]) Reconfigure(cfg Config) {
+	nw.cfg = cfg
 }
 
 // Reset re-arms the network for a fresh run on a reset kernel: NI

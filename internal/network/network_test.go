@@ -41,6 +41,37 @@ func TestMinLatencyMatchesConfig(t *testing.T) {
 	}
 }
 
+// TestReconfigureRetimesDelivery pins the latency-sweep reuse contract:
+// after Reset+Reconfigure, a built network delivers at the new config's
+// timing, indistinguishable from a freshly constructed network.
+func TestReconfigureRetimesDelivery(t *testing.T) {
+	k, nw := testNet(t, 2)
+	var deliveredAt sim.Cycle = -1
+	nw.SetHandler(1, func(src mem.NodeID, payload any) { deliveredAt = k.Now() })
+	nw.Send(0, 1, "warm")
+	k.Run(0)
+	if deliveredAt != nw.MinLatency() {
+		t.Fatalf("warm delivery at %d, want %d", deliveredAt, nw.MinLatency())
+	}
+
+	k.Reset()
+	nw.Reset()
+	slow := Config{FlightLatency: 320, SendOccupancy: 20, RecvOccupancy: 20}
+	nw.Reconfigure(slow)
+	if nw.MinLatency() != 360 {
+		t.Fatalf("reconfigured MinLatency = %d, want 360", nw.MinLatency())
+	}
+	deliveredAt = -1
+	nw.Send(0, 1, "slow")
+	k.Run(0)
+	if deliveredAt != 360 {
+		t.Fatalf("reconfigured delivery at %d, want 360", deliveredAt)
+	}
+	if s := nw.Stats(); s.Sent != 1 || s.Delivered != 1 {
+		t.Fatalf("stats after reset = %+v, want 1 sent / 1 delivered", s)
+	}
+}
+
 func TestSenderNIContentionSerializes(t *testing.T) {
 	k, nw := testNet(t, 3)
 	var times []sim.Cycle

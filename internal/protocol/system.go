@@ -163,6 +163,13 @@ func (s *System) Reset() {
 	s.violations = s.violations[:0]
 }
 
+// ReconfigureNetwork swaps the interconnect timing of a built system, for
+// reuse across sweep points that vary only the fabric. Call only on a
+// quiescent system, alongside Reset.
+func (s *System) ReconfigureNetwork(cfg network.Config) {
+	s.net.Reconfigure(cfg)
+}
+
 // Node returns node id.
 func (s *System) Node(id mem.NodeID) *Node { return s.nodes[id] }
 

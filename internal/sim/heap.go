@@ -1,0 +1,95 @@
+package sim
+
+// event is a scheduled action waiting in the overflow heap.
+type event struct {
+	at  Cycle
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  func()
+}
+
+// before reports whether e dispatches before o: earlier time first,
+// insertion order breaking ties.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// heapArity is the overflow heap's branching factor. A 4-ary heap halves
+// the tree depth of a binary heap, trading slightly more comparisons per
+// level for far fewer cache-missing level hops — the usual win for small
+// elements.
+const heapArity = 4
+
+// eventHeap is a value-based 4-ary min-heap ordered by event.before. The
+// kernel uses it only for far-future events (beyond the near wheel's
+// horizon), so its O(log n) sift is off the hot path; it is also the
+// complete ordering structure of ReferenceKernel, the differential-testing
+// oracle the wheel is checked against.
+type eventHeap struct {
+	q []event
+}
+
+func (h *eventHeap) len() int { return len(h.q) }
+
+// top returns the minimum event without removing it. Call only when
+// len() > 0.
+func (h *eventHeap) top() *event { return &h.q[0] }
+
+// push appends e and restores the heap property (sift-up).
+func (h *eventHeap) push(e event) {
+	q := append(h.q, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	h.q = q
+}
+
+// pop removes and returns the minimum event (sift-down). The vacated tail
+// slot is zeroed so the queue's backing array does not pin the closure.
+func (h *eventHeap) pop() event {
+	q := h.q
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	i := 0
+	for {
+		min := i
+		first := i*heapArity + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if q[c].before(&q[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	h.q = q
+	return top
+}
+
+// reset discards all events, retaining the backing array; vacated slots
+// are zeroed so no stale closure stays pinned.
+func (h *eventHeap) reset() {
+	clear(h.q)
+	h.q = h.q[:0]
+}

@@ -4,8 +4,9 @@ import (
 	"testing"
 )
 
-// These tests pin the Kernel semantics the value-based heap rewrite must
-// preserve: RunUntil's deadline handling, Stop in the middle of a run,
+// These tests pin the Kernel semantics every queue rewrite must preserve
+// (they survived the pointer-heap → value-heap → time-wheel rewrites
+// unchanged): RunUntil's deadline handling, Stop in the middle of a run,
 // and tie-breaking by insertion order under heavy same-cycle load —
 // including events scheduled at the current cycle from inside a handler.
 
@@ -131,9 +132,10 @@ func TestHeavySameCycleTieBreak(t *testing.T) {
 	}
 }
 
-// TestKernelScheduleZeroAllocs is the acceptance guard for the value-based
-// heap: once the queue's backing array is warm, scheduling and dispatching
-// pre-built closures must not allocate.
+// TestKernelScheduleZeroAllocs is the acceptance guard for the event
+// queue: once its storage is warm, scheduling and dispatching pre-built
+// closures must not allocate. (The wheel-specific per-tier guards live in
+// wheel_bench_test.go.)
 func TestKernelScheduleZeroAllocs(t *testing.T) {
 	k := NewKernel()
 	fn := func() {}

@@ -2,36 +2,100 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Cycle is a point in simulated time, measured in processor clock cycles.
 type Cycle int64
 
-// event is a scheduled action.
-type event struct {
-	at  Cycle
-	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
+// Near-wheel geometry. WheelSpan cycles from the current one are covered
+// by per-cycle buckets; everything further out waits in the overflow
+// heap until the clock advances to within WheelSpan of it.
+const (
+	// WheelSpan is the number of cycles the near wheel covers, starting
+	// at the current cycle. It is sized so every fixed model latency in
+	// internal/protocol, internal/network, and internal/machine (hit 1,
+	// NI occupancy 20, bus 25, directory 24, memory 104, flight 80 — and
+	// the RTL sweep's slowest 320-cycle interconnect, barrier exit 140,
+	// lock transfer 300) schedules in O(1) on the wheel; only contention
+	// backlogs pile delays past it.
+	WheelSpan = 1024
+
+	wheelMask  = WheelSpan - 1
+	wheelWords = WheelSpan / 64
+)
+
+// wheelNode is one queued event in the near wheel: an intrusive
+// singly-linked list cell in the kernel's pooled node arena. Nodes carry
+// no timestamp — a bucket holds events of exactly one cycle (see fifo) —
+// and no sequence number — FIFO bucket order is insertion order.
+type wheelNode struct {
+	fn   func()
+	next int32 // arena index of the next node; 0 terminates
 }
 
-// before reports whether e dispatches before o: earlier time first,
-// insertion order breaking ties.
-func (e *event) before(o *event) bool {
-	if e.at != o.at {
-		return e.at < o.at
-	}
-	return e.seq < o.seq
+// fifo is a bucket's (or the dispatch ring's) intrusive list: arena
+// indices of its first and last node, 0 when empty (arena index 0 is a
+// reserved sentinel). All events on one fifo share a single cycle: the
+// kernel keeps every bucketed event within [now, now+WheelSpan), and two
+// distinct times in a WheelSpan-wide window cannot map to the same
+// bucket, so appending preserves the global (time, insertion) order.
+type fifo struct {
+	head, tail int32
 }
 
 // Kernel is the event-driven simulation core. The zero value is usable and
 // starts at cycle 0; NewKernel is the conventional constructor.
+//
+// The queue is a hierarchical time wheel: events within WheelSpan cycles
+// of now sit in per-cycle FIFO buckets (O(1) schedule and dispatch),
+// events at exactly the current cycle go straight onto the dispatch ring
+// (cur), and far-future events wait in a 4-ary overflow heap from which
+// they are promoted — in (time, insertion-seq) order — as the clock
+// advances. Dispatch order is exactly (time, insertion-seq), bit-identical
+// to ReferenceKernel's heap order; the differential tests pin this.
 type Kernel struct {
 	now     Cycle
 	seq     uint64
-	queue   []event // 4-ary min-heap ordered by event.before
 	stopped bool
 	// executed counts dispatched events, for statistics and runaway guards.
 	executed uint64
+
+	// Near wheel. nodes is the pooled node arena (index 0 reserved so 0
+	// can mean "nil"); freeHead chains recycled nodes; occ is the bucket
+	// occupancy bitmap scanned to find the next busy cycle; near counts
+	// events in the buckets plus the dispatch ring; limit = now + WheelSpan
+	// is the wheel/overflow boundary invariant. buckets and occ are inline
+	// arrays, not slices: a kernel costs exactly one arena allocation
+	// beyond its own struct, which matters to benchmarks that build a
+	// machine per iteration.
+	nodes    []wheelNode
+	freeHead int32
+	buckets  [WheelSpan]fifo
+	occ      [wheelWords]uint64
+	near     int
+	limit    Cycle
+
+	// cur is the same-cycle direct-dispatch ring: events at exactly the
+	// current cycle, dispatched before the wheel is consulted. Zero-delay
+	// work (After(0), At(now) from inside a handler) is appended here
+	// directly, bypassing bucket indexing and the occupancy bitmap.
+	cur fifo
+
+	// one is the sparse-case register: a kernel whose entire pending set
+	// is a single event keeps it here, in two hot fields, instead of
+	// paying the wheel's bucket/bitmap/arena traffic. Request/response
+	// ping-pong — a directory waiting on exactly one ack, a processor
+	// stalled on one fill — runs the queue at 0↔1 population for long
+	// stretches, and this register keeps that case as cheap as the old
+	// tiny heap was. Invariant: oneValid implies near == 0 and an empty
+	// overflow; a second schedule demotes the register into the wheel
+	// (preserving its original seq) before inserting.
+	one      event
+	oneValid bool
+
+	// overflow holds events at or beyond limit.
+	overflow eventHeap
 }
 
 // NewKernel returns a kernel with the clock at cycle 0.
@@ -46,71 +110,101 @@ func (k *Kernel) Now() Cycle { return k.now }
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending returns the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) }
-
-// heapArity is the heap's branching factor. A 4-ary heap halves the tree
-// depth of a binary heap, trading slightly more comparisons per level for
-// far fewer cache-missing level hops — the usual win for small elements.
-const heapArity = 4
-
-// push appends e and restores the heap property (sift-up).
-func (k *Kernel) push(e event) {
-	q := append(k.queue, e)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / heapArity
-		if !q[i].before(&q[parent]) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
+func (k *Kernel) Pending() int {
+	n := k.near + k.overflow.len()
+	if k.oneValid {
+		n++
 	}
-	k.queue = q
+	return n
 }
 
-// pop removes and returns the minimum event (sift-down). The vacated tail
-// slot is zeroed so the queue's backing array does not pin the closure.
-func (k *Kernel) pop() event {
-	q := k.queue
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q[n] = event{}
-	q = q[:n]
-	i := 0
-	for {
-		min := i
-		first := i*heapArity + 1
-		if first >= n {
-			break
-		}
-		last := first + heapArity
-		if last > n {
-			last = n
-		}
-		for c := first; c < last; c++ {
-			if q[c].before(&q[min]) {
-				min = c
-			}
-		}
-		if min == i {
-			break
-		}
-		q[i], q[min] = q[min], q[i]
-		i = min
+// ensureInit lazily allocates the node arena so the zero-value Kernel
+// stays usable.
+func (k *Kernel) ensureInit() {
+	if k.nodes == nil {
+		// Index 0 is the nil sentinel. Starting the arena at a realistic
+		// standing population skips most of the append-doubling a machine
+		// pays while warming up.
+		k.nodes = make([]wheelNode, 1, 1024)
+		k.limit = k.now + WheelSpan
 	}
-	k.queue = q
-	return top
+}
+
+// allocNode takes a node from the free list, growing the arena only when
+// it is empty (steady state recycles; the arena tracks peak population).
+func (k *Kernel) allocNode(fn func()) int32 {
+	if i := k.freeHead; i != 0 {
+		k.freeHead = k.nodes[i].next
+		k.nodes[i] = wheelNode{fn: fn}
+		return i
+	}
+	k.nodes = append(k.nodes, wheelNode{fn: fn})
+	return int32(len(k.nodes) - 1)
+}
+
+// push appends fn to f's tail.
+func (k *Kernel) push(f *fifo, fn func()) {
+	n := k.allocNode(fn)
+	if f.head == 0 {
+		f.head = n
+	} else {
+		k.nodes[f.tail].next = n
+	}
+	f.tail = n
+}
+
+// bucketPush appends fn to the bucket for cycle at (which must lie in
+// [now, limit)), marking the bucket occupied.
+func (k *Kernel) bucketPush(at Cycle, fn func()) {
+	idx := int(at) & wheelMask
+	b := &k.buckets[idx]
+	if b.head == 0 {
+		k.occ[idx>>6] |= 1 << uint(idx&63)
+	}
+	k.push(b, fn)
 }
 
 // At schedules fn to run at absolute cycle at. Scheduling in the past
-// panics: it always indicates a model bug.
+// panics: it always indicates a model bug. The classification here is the
+// whole scheduling cost model: the sole pending event sits in a register,
+// same-cycle work goes straight onto the dispatch ring, anything within
+// WheelSpan cycles is an O(1) bucket append, and only far-future events
+// pay the heap's O(log n).
 func (k *Kernel) At(at Cycle, fn func()) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, k.now))
 	}
+	k.ensureInit()
 	k.seq++
-	k.push(event{at: at, seq: k.seq, fn: fn})
+	if k.near == 0 && k.overflow.len() == 0 {
+		if !k.oneValid {
+			k.one = event{at: at, seq: k.seq, fn: fn}
+			k.oneValid = true
+			return
+		}
+		// Second event: demote the register into the wheel first. Its seq
+		// is smaller, so in a shared bucket it lands ahead — insertion
+		// order preserved.
+		e := k.one
+		k.one = event{}
+		k.oneValid = false
+		k.place(e)
+	}
+	k.place(event{at: at, seq: k.seq, fn: fn})
+}
+
+// place routes one event into the ring, the wheel, or the overflow heap.
+func (k *Kernel) place(e event) {
+	switch {
+	case e.at == k.now:
+		k.near++
+		k.push(&k.cur, e.fn)
+	case e.at < k.limit:
+		k.near++
+		k.bucketPush(e.at, e.fn)
+	default:
+		k.overflow.push(e)
+	}
 }
 
 // After schedules fn to run delay cycles from now.
@@ -124,19 +218,163 @@ func (k *Kernel) After(delay Cycle, fn func()) {
 // Stop makes Run return after the currently dispatching event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// scanFrom returns the distance (1..WheelSpan-1) from bucket idx to the
+// next occupied bucket, scanning the occupancy bitmap word-wise with
+// wraparound. Call only with at least one occupied bucket other than idx.
+func (k *Kernel) scanFrom(idx int) int {
+	w := idx >> 6
+	// Bits strictly above idx in its word (a shift count of 64 yields 0).
+	word := k.occ[w] & (^uint64(0) << (uint(idx&63) + 1))
+	for n := 0; n <= wheelWords; n++ {
+		if word != 0 {
+			abs := w<<6 + bits.TrailingZeros64(word)
+			return (abs - idx) & wheelMask
+		}
+		w = (w + 1) & (wheelWords - 1)
+		word = k.occ[w]
+	}
+	panic("sim: near events recorded but no occupied bucket")
+}
+
+// advanceTo moves the clock to t and promotes every overflow event that
+// the new horizon reaches into the wheel. Promotion pops the heap in
+// (time, seq) order, so events landing in one bucket arrive in insertion
+// order — and any event scheduled directly into that bucket afterwards
+// carries a larger seq, so FIFO bucket order stays the global total
+// order. (Overflow events at cycle t itself — possible only when the
+// wheel was empty and the clock jumps to the heap top — go straight onto
+// the dispatch ring.)
+func (k *Kernel) advanceTo(t Cycle) {
+	if t < k.now {
+		panic("sim: time went backwards")
+	}
+	k.now = t
+	k.limit = t + WheelSpan
+	for k.overflow.len() > 0 && k.overflow.top().at < k.limit {
+		e := k.overflow.pop()
+		k.near++
+		if e.at == t {
+			k.push(&k.cur, e.fn)
+		} else {
+			k.bucketPush(e.at, e.fn)
+		}
+	}
+}
+
+// splice moves bucket idx's whole chain onto the (empty) dispatch ring.
+func (k *Kernel) splice(idx int) {
+	k.cur = k.buckets[idx]
+	k.buckets[idx] = fifo{}
+	k.occ[idx>>6] &^= 1 << uint(idx&63)
+}
+
+// refill makes the dispatch ring non-empty, advancing the clock to the
+// next busy cycle; false when no events remain anywhere.
+func (k *Kernel) refill() bool {
+	if k.near > 0 {
+		idx := int(k.now) & wheelMask
+		if k.occ[idx>>6]&(1<<uint(idx&63)) == 0 {
+			d := k.scanFrom(idx)
+			k.advanceTo(k.now + Cycle(d))
+			idx = (idx + d) & wheelMask
+		}
+		k.splice(idx)
+		return true
+	}
+	if k.overflow.len() == 0 {
+		return false
+	}
+	// The wheel is empty: jump straight to the heap top. advanceTo puts
+	// the top (and any same-cycle followers) on the dispatch ring.
+	k.advanceTo(k.overflow.top().at)
+	return true
+}
+
+// pop removes and returns the next event's callback in (time, seq) order,
+// advancing the clock to its cycle; ok is false when the queue is empty.
+// The popped node returns to the free list with its closure cleared so
+// the arena does not pin it.
+func (k *Kernel) pop() (fn func(), ok bool) {
+	if k.cur.head == 0 {
+		if k.oneValid {
+			e := k.one
+			k.one = event{}
+			k.oneValid = false
+			k.advanceTo(e.at) // overflow is empty; this only moves the clock
+			return e.fn, true
+		}
+		if !k.refill() {
+			return nil, false
+		}
+	}
+	i := k.cur.head
+	n := &k.nodes[i]
+	fn = n.fn
+	k.cur.head = n.next
+	if n.next == 0 {
+		k.cur.tail = 0
+	}
+	n.fn = nil
+	n.next = k.freeHead
+	k.freeHead = i
+	k.near--
+	return fn, true
+}
+
+// peekTime reports the next event's cycle without dispatching or
+// advancing the clock.
+func (k *Kernel) peekTime() (Cycle, bool) {
+	if k.cur.head != 0 {
+		return k.now, true
+	}
+	if k.oneValid {
+		return k.one.at, true
+	}
+	if k.near > 0 {
+		idx := int(k.now) & wheelMask
+		if k.occ[idx>>6]&(1<<uint(idx&63)) != 0 {
+			return k.now, true
+		}
+		return k.now + Cycle(k.scanFrom(idx)), true
+	}
+	if k.overflow.len() > 0 {
+		return k.overflow.top().at, true
+	}
+	return 0, false
+}
+
 // Reset re-arms the kernel for a fresh run: the clock returns to cycle 0,
 // the insertion-sequence counter restarts (so tie-breaking replays
 // identically), and the executed count clears. Queued events are
-// discarded but the heap's backing array is retained; the vacated slots
-// are zeroed so no stale closure stays pinned. A reset kernel is
+// discarded but all storage — the node arena, buckets, occupancy bitmap,
+// and the overflow heap's backing array — is retained; dropped closures
+// are cleared so nothing stays pinned. After a drained run this is O(1):
+// every arena node is already on the free list. A reset kernel is
 // observably equivalent to a freshly constructed one.
 func (k *Kernel) Reset() {
-	clear(k.queue)
-	k.queue = k.queue[:0]
+	if k.near > 0 || k.overflow.len() > 0 {
+		// Events pending (a stopped run): drop them, clearing their
+		// closures, and rebuild the free list from scratch.
+		clear(k.nodes)
+		if len(k.nodes) > 0 {
+			k.nodes = k.nodes[:1]
+		}
+		k.freeHead = 0
+		clear(k.buckets[:])
+		clear(k.occ[:])
+		k.cur = fifo{}
+		k.near = 0
+		k.overflow.reset()
+	}
+	k.one = event{}
+	k.oneValid = false
 	k.now = 0
 	k.seq = 0
 	k.stopped = false
 	k.executed = 0
+	if k.nodes != nil {
+		k.limit = WheelSpan
+	}
 }
 
 // Run dispatches events in order until the queue drains, Stop is called,
@@ -145,18 +383,39 @@ func (k *Kernel) Reset() {
 func (k *Kernel) Run(maxEvents uint64) uint64 {
 	k.stopped = false
 	var n uint64
-	for len(k.queue) > 0 && !k.stopped {
+	for !k.stopped {
 		if maxEvents != 0 && n >= maxEvents {
 			break
 		}
-		e := k.pop()
-		if e.at < k.now {
-			panic("sim: time went backwards")
+		fn, ok := k.pop()
+		if !ok {
+			break
 		}
-		k.now = e.at
 		k.executed++
 		n++
-		e.fn()
+		fn()
+	}
+	return n
+}
+
+// RunUntil dispatches events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. Returns the number executed; the
+// clock advances to the deadline if the run was not stopped early.
+func (k *Kernel) RunUntil(deadline Cycle) uint64 {
+	k.stopped = false
+	var n uint64
+	for !k.stopped {
+		t, ok := k.peekTime()
+		if !ok || t > deadline {
+			break
+		}
+		fn, _ := k.pop()
+		k.executed++
+		n++
+		fn()
+	}
+	if k.now < deadline && !k.stopped {
+		k.advanceTo(deadline)
 	}
 	return n
 }
@@ -186,26 +445,4 @@ func (f *FreeList[T]) Get() (*T, bool) {
 // Put recycles x for a later Get.
 func (f *FreeList[T]) Put(x *T) {
 	f.items = append(f.items, x)
-}
-
-// RunUntil dispatches events with timestamps <= deadline. Events scheduled
-// beyond the deadline remain queued. Returns the number executed; the
-// clock advances to the deadline if the run was not stopped early.
-func (k *Kernel) RunUntil(deadline Cycle) uint64 {
-	k.stopped = false
-	var n uint64
-	for len(k.queue) > 0 && !k.stopped {
-		if k.queue[0].at > deadline {
-			break
-		}
-		e := k.pop()
-		k.now = e.at
-		k.executed++
-		n++
-		e.fn()
-	}
-	if k.now < deadline && !k.stopped {
-		k.now = deadline
-	}
-	return n
 }

@@ -1,0 +1,132 @@
+package sim
+
+import "testing"
+
+// Wheel-specific zero-alloc guards: each scheduling class — same-cycle
+// ring, near-wheel bucket, far-future overflow — must be allocation-free
+// in steady state once its storage is warm. They extend the acceptance
+// guard TestKernelScheduleZeroAllocs, which mixes the classes.
+
+func TestKernelSameCycleRingZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	var chain func()
+	depth := 0
+	chain = func() {
+		if depth > 0 {
+			depth--
+			k.At(k.Now(), chain) // same-cycle ring append from inside a handler
+		}
+	}
+	// Warm the node arena.
+	for i := 0; i < 64; i++ {
+		k.At(0, fn)
+	}
+	k.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		depth = 16
+		k.At(k.Now(), chain)
+		k.Run(0)
+	})
+	if avg != 0 {
+		t.Errorf("same-cycle ring allocates %.2f/run, want 0", avg)
+	}
+}
+
+func TestKernelFarFutureOverflowZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the overflow heap's backing array and the wheel nodes the
+	// promoted events land in.
+	for i := 0; i < 64; i++ {
+		k.After(2*WheelSpan+Cycle(i), fn)
+	}
+	k.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 16; i++ {
+			k.After(2*WheelSpan+Cycle(i%7), fn) // overflow push + later promotion
+		}
+		k.Run(0)
+	})
+	if avg != 0 {
+		t.Errorf("overflow schedule+promotion allocates %.2f/run, want 0", avg)
+	}
+}
+
+// standingSchedule measures steady-state schedule+dispatch with a
+// standing event population at the given base delay — the kernel's hot
+// loop shape in every simulation. A zero base keeps traffic on the near
+// wheel; a base beyond WheelSpan forces every schedule through the
+// overflow heap and a promotion.
+func standingSchedule(b *testing.B, k scheduler, base Cycle) {
+	const standing = 64
+	remaining := b.N
+	var fn func()
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			k.After(base+Cycle(remaining%7+1), fn)
+		}
+	}
+	for i := 0; i < standing; i++ {
+		k.At(Cycle(i%7), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(uint64(b.N))
+}
+
+// BenchmarkKernelScheduleWheel is the headline scheduler microbench:
+// hot = steady-state near-wheel traffic on a warm kernel; cold = first
+// event after a Reset, paying the re-arm plus an occupancy scan.
+func BenchmarkKernelScheduleWheel(b *testing.B) {
+	b.Run("hot", func(b *testing.B) {
+		standingSchedule(b, NewKernel(), 0)
+	})
+	b.Run("cold", func(b *testing.B) {
+		k := NewKernel()
+		fn := func() {}
+		k.At(3, fn)
+		k.Run(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Reset()
+			k.At(3, fn)
+			k.Run(0)
+		}
+	})
+}
+
+// BenchmarkKernelSameCycleRing measures zero-delay dispatch: every event
+// schedules its successor at the current cycle, so the whole run stays on
+// the direct-dispatch ring without touching buckets or the bitmap.
+func BenchmarkKernelSameCycleRing(b *testing.B) {
+	k := NewKernel()
+	remaining := b.N
+	var fn func()
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			k.At(k.Now(), fn)
+		}
+	}
+	k.At(0, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run(uint64(b.N))
+}
+
+// BenchmarkKernelFarFutureOverflow forces every schedule beyond the near
+// horizon: each event costs a heap push plus a promotion back into the
+// wheel when the clock reaches it.
+func BenchmarkKernelFarFutureOverflow(b *testing.B) {
+	standingSchedule(b, NewKernel(), 2*WheelSpan)
+}
+
+// BenchmarkKernelScheduleRef is BenchmarkKernelScheduleWheel/hot on the
+// retained pre-wheel heap kernel: the committed baseline the wheel's
+// ns/op is judged against.
+func BenchmarkKernelScheduleRef(b *testing.B) {
+	standingSchedule(b, NewReferenceKernel(), 0)
+}

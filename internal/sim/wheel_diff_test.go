@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the time-wheel Kernel must dispatch every schedule
+// in exactly the (time, insertion-seq) order of ReferenceKernel, the
+// retained pre-wheel 4-ary heap. Each scenario drives both kernels with
+// an identical randomized workload — times spanning the same-cycle ring,
+// the near wheel, and the overflow heap, with ties and nested scheduling
+// from inside handlers — and requires identical dispatch sequences and
+// identical clock/counter state, including across Stop and Reset.
+
+// scheduler is the kernel surface the differential tests exercise;
+// *Kernel and *ReferenceKernel both implement it.
+type scheduler interface {
+	Now() Cycle
+	At(Cycle, func())
+	After(Cycle, func())
+	Run(uint64) uint64
+	RunUntil(Cycle) uint64
+	Stop()
+	Reset()
+	Pending() int
+	Executed() uint64
+}
+
+// stamp records one dispatch: the clock when the handler ran and the
+// event's identity.
+type stamp struct {
+	at Cycle
+	id int
+}
+
+// randomDelay draws from a mix that covers all three scheduling classes:
+// zero (same-cycle ring), small (near wheel), and far-future (overflow).
+func randomDelay(rng *rand.Rand) Cycle {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1, 2:
+		return Cycle(rng.Intn(4)) // heavy ties at nearby cycles
+	case 3:
+		return WheelSpan + Cycle(rng.Intn(3*WheelSpan)) // overflow
+	default:
+		return Cycle(rng.Intn(WheelSpan)) // near wheel
+	}
+}
+
+// runRandomWorkload schedules n root events at random times on k, each
+// handler re-scheduling up to two children, and returns the dispatch
+// sequence. The rng drives all choices, so two kernels given the same
+// seed see byte-identical workloads as long as their dispatch orders
+// agree (any divergence shows up in the compared sequences).
+func runRandomWorkload(k scheduler, seed int64, n int) []stamp {
+	rng := rand.New(rand.NewSource(seed))
+	var got []stamp
+	next := n
+	var handler func(id int) func()
+	handler = func(id int) func() {
+		return func() {
+			got = append(got, stamp{at: k.Now(), id: id})
+			for c := rng.Intn(3); c > 0; c-- {
+				cid := next
+				next++
+				k.After(randomDelay(rng), handler(cid))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		k.At(Cycle(rng.Intn(4*WheelSpan)), handler(i))
+	}
+	k.Run(200 * uint64(n)) // generous cap; the workload branches subcritically
+	return got
+}
+
+func compareStamps(t *testing.T, label string, ref, got []stamp) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s: dispatched %d events, reference %d", label, len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("%s: dispatch %d = %+v, reference %+v", label, i, got[i], ref[i])
+		}
+	}
+}
+
+func compareState(t *testing.T, label string, ref, got scheduler) {
+	t.Helper()
+	if ref.Now() != got.Now() {
+		t.Fatalf("%s: Now = %d, reference %d", label, got.Now(), ref.Now())
+	}
+	if ref.Pending() != got.Pending() {
+		t.Fatalf("%s: Pending = %d, reference %d", label, got.Pending(), ref.Pending())
+	}
+	if ref.Executed() != got.Executed() {
+		t.Fatalf("%s: Executed = %d, reference %d", label, got.Executed(), ref.Executed())
+	}
+}
+
+func TestWheelMatchesReferenceRandom(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		ref := runRandomWorkload(NewReferenceKernel(), seed, 150)
+		got := runRandomWorkload(NewKernel(), seed, 150)
+		compareStamps(t, "random", ref, got)
+	}
+}
+
+// TestWheelMatchesReferenceTies floods single cycles so every dispatch is
+// a tie broken purely by insertion seq, including insertions from inside
+// handlers at the current cycle (the same-cycle ring path).
+func TestWheelMatchesReferenceTies(t *testing.T) {
+	workload := func(k scheduler) []stamp {
+		var got []stamp
+		next := 300
+		for i := 0; i < 300; i++ {
+			id := i
+			at := Cycle((i % 3) * WheelSpan) // three contested cycles, one per class
+			k.At(at, func() {
+				got = append(got, stamp{k.Now(), id})
+				if id%5 == 0 {
+					cid := next
+					next++
+					k.After(0, func() { got = append(got, stamp{k.Now(), cid}) })
+				}
+			})
+		}
+		k.Run(0)
+		return got
+	}
+	compareStamps(t, "ties", workload(NewReferenceKernel()), workload(NewKernel()))
+}
+
+// TestWheelMatchesReferenceStopResume stops both kernels mid-run at the
+// same dispatch, compares the stopped state, then drains and compares.
+func TestWheelMatchesReferenceStopResume(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		workload := func(k scheduler) ([]stamp, scheduler) {
+			rng := rand.New(rand.NewSource(seed))
+			var got []stamp
+			stopAt := 40 + rng.Intn(40)
+			for i := 0; i < 200; i++ {
+				id := i
+				k.At(Cycle(rng.Intn(3*WheelSpan)), func() {
+					got = append(got, stamp{k.Now(), id})
+					if len(got) == stopAt {
+						k.Stop()
+					}
+				})
+			}
+			k.Run(0)
+			return got, k
+		}
+		refStamps, ref := workload(NewReferenceKernel())
+		gotStamps, got := workload(NewKernel())
+		compareStamps(t, "stopped prefix", refStamps, gotStamps)
+		compareState(t, "stopped", ref, got)
+
+		// Resume in bounded chunks, then drain.
+		for ref.Pending() > 0 || got.Pending() > 0 {
+			nr, ng := ref.Run(17), got.Run(17)
+			if nr != ng {
+				t.Fatalf("resume chunk ran %d, reference %d", ng, nr)
+			}
+			if nr == 0 {
+				break
+			}
+		}
+		compareState(t, "drained", ref, got)
+	}
+}
+
+// TestWheelMatchesReferenceRunUntil interleaves RunUntil deadlines with
+// full drains, covering deadline clamping and promotion on idle advance.
+func TestWheelMatchesReferenceRunUntil(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		workload := func(k scheduler) []stamp {
+			rng := rand.New(rand.NewSource(seed))
+			var got []stamp
+			for i := 0; i < 120; i++ {
+				id := i
+				k.At(Cycle(rng.Intn(4*WheelSpan)), func() {
+					got = append(got, stamp{k.Now(), id})
+					if id%7 == 0 {
+						cid := 1000 + id
+						k.After(randomDelay(rng), func() { got = append(got, stamp{k.Now(), cid}) })
+					}
+				})
+			}
+			deadline := Cycle(0)
+			for j := 0; j < 12; j++ {
+				deadline += Cycle(rng.Intn(WheelSpan))
+				k.RunUntil(deadline)
+			}
+			k.Run(0)
+			return got
+		}
+		compareStamps(t, "rununtil", workload(NewReferenceKernel()), workload(NewKernel()))
+	}
+}
+
+// TestWheelResetMidRunMatchesReference resets both kernels while events
+// are still pending (the slow clearing path) and requires the following
+// fresh workload to replay identically — seq restart included.
+func TestWheelResetMidRunMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		workload := func(k scheduler) []stamp {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				k.At(Cycle(rng.Intn(3*WheelSpan)), func() {})
+			}
+			k.Run(30) // leave events pending in every structure
+			k.Reset()
+			return runRandomWorkload(k, seed+100, 80)
+		}
+		compareStamps(t, "reset", workload(NewReferenceKernel()), workload(NewKernel()))
+	}
+}
+
+// TestWheelResetEquivalentToFresh pins Reset's contract directly on the
+// wheel: a reset kernel replays a workload with the same dispatch
+// sequence as a newly constructed one.
+func TestWheelResetEquivalentToFresh(t *testing.T) {
+	reused := NewKernel()
+	runRandomWorkload(reused, 7, 120)
+	reused.Reset()
+	fresh := NewKernel()
+	compareStamps(t, "reset-vs-fresh",
+		runRandomWorkload(fresh, 8, 120), runRandomWorkload(reused, 8, 120))
+	compareState(t, "reset-vs-fresh", fresh, reused)
+}
