@@ -3,7 +3,6 @@ package specdsm
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"specdsm/internal/machine"
 	"specdsm/internal/report"
@@ -25,89 +24,76 @@ type Figure9Aggregate struct {
 // SpeculationStudySeeds repeats the speculation study across seeds and
 // aggregates Figure 9 per application. It quantifies how sensitive the
 // reproduction's speedups are to the synthetic workloads' randomness.
-// The full seeds×apps×modes simulation matrix fans out across one
-// cfg.Parallel-wide worker pool; aggregation order is (seeds outer,
-// cfg.Apps inner), independent of completion order.
+//
+// This is the scalable study: the full seeds×apps×modes simulation
+// matrix streams through the cfg.Parallel-wide worker pool's bounded
+// merge window into online per-application accumulators
+// (report.Grouped), so peak memory is O(apps + window) no matter how
+// many seeds the sweep covers — runs are folded into mean/std as they
+// arrive and then dropped, never collected. Workloads are generated
+// lazily inside each job (deduplicated by the process-wide generation
+// cache), aggregation order is (seeds outer, cfg.Apps inner),
+// independent of completion order, and cfg's checkpoint fields make the
+// sweep resumable at single-simulation granularity.
 func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("specdsm: no seeds")
 	}
 	cfg = cfg.withDefaults()
-	// Flatten every (seed, app, mode) cell into one job list so
-	// parallelism is never limited by the seed count. Workloads are
-	// generated up front (cheap, and read-only once built); each is
-	// shared by its three mode runs.
 	nApps, nModes := len(cfg.Apps), len(specModes)
-	workloads := make([]Workload, len(seeds)*nApps)
-	for s, seed := range seeds {
-		wp := cfg.workloadParams()
-		wp.Seed = seed
-		if wp.Seed == 0 {
-			wp.Seed = 1
-		}
-		for i, app := range cfg.Apps {
-			w, err := AppWorkload(app, wp)
+	n := len(seeds) * nApps * nModes
+	ck, err := cfg.checkpoint("seeds", n, fmt.Sprintf("|seeds=%v", seeds))
+	if err != nil {
+		return nil, err
+	}
+	var fr, swi report.Grouped
+	// triple is the assembly window: the ordered merge delivers runs
+	// (seed, app, mode)-major, so every nModes emissions complete one
+	// (seed, app) cell, which normalizes against its own Base run and
+	// folds into that application's accumulators.
+	triple := make([]*RunResult, 0, nModes)
+	err = sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
+		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
+			wp := cfg.workloadParams()
+			wp.Seed = seeds[j/(nApps*nModes)]
+			if wp.Seed == 0 {
+				wp.Seed = 1
+			}
+			w, err := AppWorkload(cfg.Apps[(j/nModes)%nApps], wp)
 			if err != nil {
 				return nil, err
 			}
-			workloads[s*nApps+i] = w
-		}
-	}
-	runs, err := sweep.MapWorker(context.Background(), cfg.pool(), len(workloads)*nModes, machine.NewArena,
-		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
-			return runInArena(arena, workloads[j/nModes], MachineOptions{
+			return runInArena(arena, w, MachineOptions{
 				Mode:          specModes[j%nModes],
 				DisableChecks: cfg.DisableChecks,
 			})
+		},
+		func(j int, r *RunResult) error {
+			triple = append(triple, r)
+			if len(triple) < nModes {
+				return nil
+			}
+			app := cfg.Apps[(j/nModes)%nApps]
+			base := float64(triple[0].Cycles)
+			fr.Add(app, float64(triple[1].Cycles)/base*100)
+			swi.Add(app, float64(triple[2].Cycles)/base*100)
+			triple = triple[:0]
+			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	acc := map[string]*struct {
-		fr, swi []float64
-	}{}
-	var order []string
-	for s := range seeds {
-		study := assembleSpeculation(cfg.Apps, runs[s*nApps*nModes:(s+1)*nApps*nModes])
-		for _, row := range Figure9(study) {
-			a := acc[row.App]
-			if a == nil {
-				a = &struct{ fr, swi []float64 }{}
-				acc[row.App] = a
-				order = append(order, row.App)
-			}
-			a.fr = append(a.fr, row.Total(ModeFR))
-			a.swi = append(a.swi, row.Total(ModeSWI))
-		}
-	}
-	var out []Figure9Aggregate
-	for _, app := range order {
-		a := acc[app]
-		frM, frS := meanStd(a.fr)
-		swiM, swiS := meanStd(a.swi)
+	out := make([]Figure9Aggregate, 0, nApps)
+	for _, app := range fr.Keys() {
+		f, s := fr.Get(app), swi.Get(app)
 		out = append(out, Figure9Aggregate{
 			App:    app,
-			Seeds:  len(seeds),
-			FRMean: frM, FRStd: frS,
-			SWIMean: swiM, SWIStd: swiS,
+			Seeds:  int(f.N()),
+			FRMean: f.Mean(), FRStd: f.Std(),
+			SWIMean: s.Mean(), SWIStd: s.Std(),
 		})
 	}
 	return out, nil
-}
-
-func meanStd(xs []float64) (mean, std float64) {
-	if len(xs) == 0 {
-		return 0, 0
-	}
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= float64(len(xs))
-	for _, x := range xs {
-		std += (x - mean) * (x - mean)
-	}
-	std = math.Sqrt(std / float64(len(xs)))
-	return mean, std
 }
 
 // RenderFigure9Aggregate prints the multi-seed Figure 9.
@@ -150,36 +136,59 @@ func RTLSweep(app string, p WorkloadParams, flights []int) ([]RTLPoint, error) {
 // matrix fans out as independent jobs; output is identical for every
 // worker count.
 func RTLSweepParallel(app string, p WorkloadParams, flights []int, parallel int) ([]RTLPoint, error) {
+	var out []RTLPoint
+	err := RTLSweepStream(StudyConfig{Parallel: parallel}, app, p, flights,
+		func(_ int, pt RTLPoint) error {
+			out = append(out, pt)
+			return nil
+		})
+	return out, err
+}
+
+// RTLSweepStream is the streaming rtl sweep: each flight point is
+// emitted (in flight order, regardless of completion order) as soon as
+// its Base and SWI runs merge, instead of collecting the whole sweep.
+// Only cfg's execution fields matter — Parallel, OnJobDone/Progress,
+// and the checkpoint fields, which make the sweep resumable per
+// simulation; workload shape comes from p. Returning an error from emit
+// stops the sweep.
+func RTLSweepStream(cfg StudyConfig, app string, p WorkloadParams, flights []int, emit func(i int, pt RTLPoint) error) error {
 	if len(flights) == 0 {
 		flights = []int{20, 80, 200, 320}
 	}
+	cfg = cfg.withDefaults()
+	n := 2 * len(flights)
+	ck, err := cfg.checkpoint("rtl", n, fmt.Sprintf("|rtl=%s/%+v/%v", app, p, flights))
+	if err != nil {
+		return err
+	}
 	w, err := AppWorkload(app, p)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	runs, err := sweep.MapWorker(context.Background(), sweep.New(parallel), 2*len(flights), machine.NewArena,
+	var base *RunResult // pending Base run of the current flight pair
+	return sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
 		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
 			mode := ModeBase
 			if j%2 == 1 {
 				mode = ModeSWI
 			}
 			return runInArena(arena, w, MachineOptions{Mode: mode, NetworkFlight: flights[j/2], DisableChecks: true})
+		},
+		func(j int, r *RunResult) error {
+			if j%2 == 0 {
+				base = r
+				return nil
+			}
+			i, f := j/2, flights[j/2]
+			return emit(i, RTLPoint{
+				Flight:     f,
+				RTL:        (258 + 2*float64(f)) / 104,
+				BaseCycles: base.Cycles,
+				SWICycles:  r.Cycles,
+				Speedup:    float64(base.Cycles) / float64(r.Cycles),
+			})
 		})
-	if err != nil {
-		return nil, err
-	}
-	var out []RTLPoint
-	for i, f := range flights {
-		base, swi := runs[2*i], runs[2*i+1]
-		out = append(out, RTLPoint{
-			Flight:     f,
-			RTL:        (258 + 2*float64(f)) / 104,
-			BaseCycles: base.Cycles,
-			SWICycles:  swi.Cycles,
-			Speedup:    float64(base.Cycles) / float64(swi.Cycles),
-		})
-	}
-	return out, nil
 }
 
 // RenderRTLSweep prints the sweep.
@@ -223,7 +232,7 @@ type AppCharacterization struct {
 // the cfg.Parallel-wide worker pool.
 func Characterize(cfg StudyConfig) ([]AppCharacterization, error) {
 	cfg = cfg.withDefaults()
-	return sweep.Map(context.Background(), cfg.pool(), len(cfg.Apps),
+	return sweep.Map(context.Background(), cfg.pool(len(cfg.Apps)), len(cfg.Apps),
 		func(_ context.Context, i int) (AppCharacterization, error) {
 			name := cfg.Apps[i]
 			app, ok := workload.ByName(name)

@@ -28,6 +28,11 @@ type options struct {
 	// guessing at hot paths.
 	CPUProfile string
 	MemProfile string
+	// CrashAfter, when positive, kills the process with exit status 3
+	// after that many completed simulations — a deterministic
+	// crash-injection hook for exercising checkpoint resume (used by
+	// `make check`), not a user-facing feature.
+	CrashAfter int
 	Cfg        specdsm.StudyConfig
 }
 
@@ -45,9 +50,13 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 		nodes    = fs.Int("nodes", 16, "machine size")
 		seeds    = fs.String("seeds", "", "comma-separated seeds: aggregate Figure 9 across them")
 		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = one per CPU; 1 = sequential)")
-		progress = fs.Bool("progress", false, "log per-simulation completion progress to stderr")
+		progress = fs.Bool("progress", false, "log per-simulation completion progress (with ETA) to stderr")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		ckpt     = fs.String("checkpoint", "", "checkpoint studies to this base path (one file per study: PATH.predictor, PATH.speculation, PATH.seeds, PATH.rtl)")
+		resume   = fs.Bool("resume", false, "resume from -checkpoint files left by an interrupted run")
+		ckEvery  = fs.Int("checkpoint-every", 0, "flush the checkpoint every N completed simulations (0 = default cadence)")
+		crash    = fs.Int("crash-after", 0, "crash-injection test hook: exit(3) after N completed simulations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -61,13 +70,26 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 		Progress:   *progress,
 		CPUProfile: *cpuprof,
 		MemProfile: *memprof,
+		CrashAfter: *crash,
 		Cfg: specdsm.StudyConfig{
-			Nodes:      *nodes,
-			Scale:      *scale,
-			Seed:       *seed,
-			Iterations: *iters,
-			Parallel:   *parallel,
+			Nodes:           *nodes,
+			Scale:           *scale,
+			Seed:            *seed,
+			Iterations:      *iters,
+			Parallel:        *parallel,
+			CheckpointPath:  *ckpt,
+			Resume:          *resume,
+			CheckpointEvery: *ckEvery,
 		},
+	}
+	if o.Cfg.Resume && o.Cfg.CheckpointPath == "" {
+		return options{}, fmt.Errorf("paperrepro: -resume requires -checkpoint")
+	}
+	if o.Cfg.CheckpointEvery < 0 {
+		return options{}, fmt.Errorf("paperrepro: -checkpoint-every must be positive, got %d", o.Cfg.CheckpointEvery)
+	}
+	if o.CrashAfter < 0 {
+		return options{}, fmt.Errorf("paperrepro: -crash-after must be positive, got %d", o.CrashAfter)
 	}
 	if *apps != "" {
 		list, err := splitList("-apps", *apps)

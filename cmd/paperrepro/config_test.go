@@ -96,6 +96,9 @@ func TestParseOptionsErrors(t *testing.T) {
 		{"unknown experiment", []string{"-only", "fig99"}, "unknown experiment"},
 		{"stray positional", []string{"fig7"}, "unexpected argument"},
 		{"unknown flag", []string{"-bogus"}, ""},
+		{"resume without checkpoint", []string{"-resume"}, "-resume requires -checkpoint"},
+		{"negative checkpoint cadence", []string{"-checkpoint", "ck", "-checkpoint-every", "-2"}, "-checkpoint-every"},
+		{"negative crash-after", []string{"-crash-after", "-1"}, "-crash-after"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -151,6 +154,28 @@ func TestProfilesWriteFiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Fatalf("profile %s is empty", f)
 		}
+	}
+}
+
+func TestParseOptionsCheckpointFlags(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cfg.CheckpointPath != "" || o.Cfg.Resume || o.Cfg.CheckpointEvery != 0 || o.CrashAfter != 0 {
+		t.Fatalf("checkpointing must default off, got %+v", o)
+	}
+	o, err = parseOptions([]string{
+		"-checkpoint", "run.ck", "-resume", "-checkpoint-every", "4", "-crash-after", "9",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cfg.CheckpointPath != "run.ck" || !o.Cfg.Resume || o.Cfg.CheckpointEvery != 4 {
+		t.Fatalf("checkpoint flags not threaded into cfg: %+v", o.Cfg)
+	}
+	if o.CrashAfter != 9 {
+		t.Fatalf("CrashAfter = %d, want 9", o.CrashAfter)
 	}
 }
 

@@ -8,13 +8,19 @@
 //	paperrepro -seed 7
 //	paperrepro -parallel 8     # simulations per batch; output is
 //	                           # byte-identical for every -parallel value
-//	paperrepro -progress       # per-simulation completion log on stderr
+//	paperrepro -progress       # per-simulation completion log with ETA
 //	paperrepro -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                           # attach pprof profiles to the run
+//	paperrepro -checkpoint ck -checkpoint-every 8
+//	                           # persist completed simulations to ck.<study>
+//	paperrepro -checkpoint ck -resume
+//	                           # continue an interrupted run from ck.<study>
 //
 // Simulated results depend only on the flags (runs are deterministic):
 // the sweep engine merges parallel simulation results back in submission
-// order, so -parallel N reproduces -parallel 1 exactly.
+// order, so -parallel N reproduces -parallel 1 exactly — including an
+// interrupted -checkpoint run resumed with -resume, which replays the
+// saved rows and simulates only the remainder.
 package main
 
 import (
@@ -25,10 +31,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"specdsm"
-	"specdsm/internal/sweep"
 )
 
 func main() {
@@ -97,10 +103,26 @@ func startProfiles(o options) (stop func() error, err error) {
 func run(o options) error {
 	cfg := o.Cfg
 	if o.Progress {
-		// Per-simulation completion lines on stderr (stdout carries only
-		// the reproduced tables/figures, byte-identical either way).
-		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-		cfg.OnJobDone = sweep.Progress(logger)
+		// Per-simulation completion lines with ETA on stderr (stdout
+		// carries only the reproduced tables/figures, byte-identical
+		// either way).
+		cfg.Progress = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if o.CrashAfter > 0 {
+		// Deterministic crash injection for the checkpoint-resume gate in
+		// `make check`: die mid-sweep exactly where asked, leaving
+		// whatever the checkpoint cadence has flushed so far.
+		var done atomic.Int64
+		user := cfg.OnJobDone
+		cfg.OnJobDone = func(i int, d time.Duration) {
+			if user != nil {
+				user(i, d)
+			}
+			if done.Add(1) == int64(o.CrashAfter) {
+				fmt.Fprintf(os.Stderr, "paperrepro: -crash-after %d reached, aborting\n", o.CrashAfter)
+				os.Exit(3)
+			}
+		}
 	}
 	if o.want("table1") {
 		fmt.Println(specdsm.RenderTable1())
@@ -120,9 +142,13 @@ func run(o options) error {
 	}
 	if o.Only == "rtl" {
 		start := time.Now()
-		points, err := specdsm.RTLSweepParallel("em3d", specdsm.WorkloadParams{
+		var points []specdsm.RTLPoint
+		err := specdsm.RTLSweepStream(cfg, "em3d", specdsm.WorkloadParams{
 			Nodes: cfg.Nodes, Scale: cfg.Scale, Seed: cfg.Seed, Iterations: cfg.Iterations,
-		}, nil, cfg.Parallel)
+		}, nil, func(_ int, p specdsm.RTLPoint) error {
+			points = append(points, p)
+			return nil
+		})
 		if err != nil {
 			return err
 		}

@@ -4,68 +4,62 @@
 //	specdsm -app em3d -trace-out em3d.trace
 //	traceeval -in em3d.trace
 //	traceeval -in em3d.trace -depths 1,2,4
+//	traceeval -in em3d.trace -kinds MSP,VMSP -depths 2
 //
 // Offline evaluation reproduces what the same predictors would have
-// measured online, without re-running the simulation.
+// measured online, without re-running the simulation. Kinds and depths
+// are validated at parse time against the library's supported sets;
+// invalid flags exit with status 2 and a message naming the valid
+// choices.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"specdsm"
 )
 
 func main() {
-	var (
-		in     = flag.String("in", "", "trace file (required)")
-		depths = flag.String("depths", "1", "comma-separated history depths")
-		kinds  = flag.String("kinds", "Cosmos,MSP,VMSP", "comma-separated predictor kinds")
-	)
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "traceeval: -in is required")
+	o, err := parseOptions(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	var configs []specdsm.PredictorConfig
-	for _, ks := range strings.Split(*kinds, ",") {
-		for _, ds := range strings.Split(*depths, ",") {
-			d, err := strconv.Atoi(strings.TrimSpace(ds))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "traceeval: bad depth %q\n", ds)
-				os.Exit(2)
-			}
-			configs = append(configs, specdsm.PredictorConfig{
-				Kind:  specdsm.PredictorKind(strings.TrimSpace(ks)),
-				Depth: d,
-			})
-		}
-	}
-
-	f, err := os.Open(*in)
-	if err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// run evaluates the configured predictors on the trace and writes the
+// result table to out.
+func run(o options, out io.Writer) error {
+	f, err := os.Open(o.In)
+	if err != nil {
+		return err
 	}
 	defer f.Close()
 
-	results, sum, err := specdsm.EvaluateTrace(f, configs)
+	results, sum, err := specdsm.EvaluateTrace(f, o.Configs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Printf("trace: %s, %d nodes, %d events over %d blocks\n\n",
+	fmt.Fprintf(out, "trace: %s, %d nodes, %d events over %d blocks\n\n",
 		sum.Workload, sum.Nodes, sum.Events, sum.Blocks)
-	fmt.Printf("%-8s %5s %10s %10s %10s %9s %9s %7s %8s\n",
+	fmt.Fprintf(out, "%-8s %5s %10s %10s %10s %9s %9s %7s %8s\n",
 		"pred", "depth", "tracked", "predicted", "correct", "accuracy", "coverage", "pte", "bytes/bl")
 	for _, r := range results {
-		fmt.Printf("%-8s %5d %10d %10d %10d %8.1f%% %8.1f%% %7.1f %8.1f\n",
+		fmt.Fprintf(out, "%-8s %5d %10d %10d %10d %8.1f%% %8.1f%% %7.1f %8.1f\n",
 			r.Kind, r.Depth, r.Tracked, r.Predicted, r.Correct,
 			r.Accuracy*100, r.Coverage*100, r.EntriesPerBlock, r.BytesPerBlock)
 	}
+	return nil
 }

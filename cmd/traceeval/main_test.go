@@ -1,0 +1,130 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specdsm"
+)
+
+func TestParseOptionsConfigs(t *testing.T) {
+	o, err := parseOptions([]string{"-in", "t.trace", "-kinds", "MSP, VMSP", "-depths", "2, 4"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.In != "t.trace" {
+		t.Fatalf("in = %q", o.In)
+	}
+	want := []specdsm.PredictorConfig{
+		{Kind: specdsm.MSP, Depth: 2},
+		{Kind: specdsm.MSP, Depth: 4},
+		{Kind: specdsm.VMSP, Depth: 2},
+		{Kind: specdsm.VMSP, Depth: 4},
+	}
+	if !reflect.DeepEqual(o.Configs, want) {
+		t.Fatalf("configs = %+v, want %+v", o.Configs, want)
+	}
+}
+
+func TestParseOptionsDefaultsCoverAllKinds(t *testing.T) {
+	o, err := parseOptions([]string{"-in", "t.trace"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Configs) != len(specdsm.Kinds()) {
+		t.Fatalf("default configs = %+v", o.Configs)
+	}
+	for i, k := range specdsm.Kinds() {
+		if o.Configs[i] != (specdsm.PredictorConfig{Kind: k, Depth: 1}) {
+			t.Fatalf("config[%d] = %+v", i, o.Configs[i])
+		}
+	}
+}
+
+func TestParseOptionsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string // expected error substring
+	}{
+		{"missing in", nil, "-in is required"},
+		{"unknown kind", []string{"-in", "t", "-kinds", "Oracle"}, `unknown predictor kind "Oracle" (have Cosmos, MSP, VMSP)`},
+		{"empty kind entry", []string{"-in", "t", "-kinds", "MSP,"}, "empty entry in -kinds"},
+		{"non-integer depth", []string{"-in", "t", "-depths", "two"}, `bad depth "two"`},
+		{"depth zero", []string{"-in", "t", "-depths", "0"}, "depth 0 out of range [1,4]"},
+		{"depth too deep", []string{"-in", "t", "-depths", "1,9"}, "depth 9 out of range [1,4]"},
+		{"empty depth entry", []string{"-in", "t", "-depths", "1,,2"}, "empty entry in -depths"},
+		{"stray positional", []string{"-in", "t", "extra"}, "unexpected argument"},
+		{"unknown flag", []string{"-bogus"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if tc.frag != "" && !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want substring %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+// TestRunEndToEnd captures a real trace and evaluates it through run,
+// checking the offline table against the online predictor study of the
+// same run.
+func TestRunEndToEnd(t *testing.T) {
+	wl, err := specdsm.MicroWorkload(specdsm.PatternProducerConsumer,
+		specdsm.WorkloadParams{Nodes: 4, Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pc.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := specdsm.CaptureTrace(wl, specdsm.MachineOptions{}, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o, err := parseOptions([]string{"-in", path, "-kinds", "MSP,VMSP", "-depths", "1,2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "trace: producer-consumer, 4 nodes") {
+		t.Fatalf("missing summary line:\n%s", got)
+	}
+	// Summary, separator, header, then one row per (kind, depth).
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines, want 7:\n%s", len(lines), got)
+	}
+	for _, frag := range []string{"MSP", "VMSP", "accuracy", "coverage"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	o, err := parseOptions([]string{"-in", filepath.Join(t.TempDir(), "absent.trace")}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, io.Discard); err == nil {
+		t.Fatal("expected open error for missing trace")
+	}
+}

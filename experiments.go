@@ -3,7 +3,9 @@ package specdsm
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strings"
 	"time"
 
 	"specdsm/internal/analytic"
@@ -36,6 +38,30 @@ type StudyConfig struct {
 	// concurrent use (sweep.Progress wraps a log/slog logger suitably).
 	// The hook never affects study results.
 	OnJobDone func(index int, d time.Duration)
+	// Progress, when non-nil, logs every completed simulation job at
+	// Info level with completed/total counts and an ETA estimated from
+	// the recent completion rate (sweep.ProgressETA). It composes with
+	// OnJobDone and, like it, never affects study results.
+	Progress *slog.Logger
+	// CheckpointPath, when non-empty, streams every study through a
+	// crash-safe on-disk checkpoint at <path>.<study> (e.g. ck.predictor,
+	// ck.speculation, ck.seeds, ck.rtl): completed rows are persisted
+	// periodically via atomic write-rename, so an interrupted sweep can
+	// be resumed instead of restarted. See internal/sweep for the file
+	// format.
+	CheckpointPath string
+	// Resume continues from an existing checkpoint written by an
+	// identically configured earlier run (a missing file starts fresh,
+	// so the same resume-enabled invocation works before and after an
+	// interruption). Saved rows are replayed without re-simulation;
+	// output is byte-identical to an uninterrupted run at any Parallel.
+	// Without Resume, an existing checkpoint file is an error — saved
+	// work is never silently clobbered.
+	Resume bool
+	// CheckpointEvery is the flush cadence in completed rows
+	// (0 = sweep.DefaultCheckpointEvery). At most this many completed
+	// rows are lost on a crash, beyond one merge window.
+	CheckpointEvery int
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -61,11 +87,43 @@ func (c StudyConfig) withDefaults() StudyConfig {
 }
 
 // pool builds the worker pool all study drivers fan their simulation
-// jobs out on. Call on a config that already has defaults applied.
-func (c StudyConfig) pool() *sweep.Pool {
+// jobs out on; total is the study's job count (it sizes the ETA).
+// Call on a config that already has defaults applied.
+func (c StudyConfig) pool(total int) *sweep.Pool {
 	p := sweep.New(c.Parallel)
 	p.OnJobDone = c.OnJobDone
+	if c.Progress != nil {
+		eta := sweep.ProgressETA(c.Progress, total)
+		if user := c.OnJobDone; user != nil {
+			p.OnJobDone = func(i int, d time.Duration) {
+				eta(i, d)
+				user(i, d)
+			}
+		} else {
+			p.OnJobDone = eta
+		}
+	}
 	return p
+}
+
+// checkpoint opens the named study's checkpoint, or returns nil when
+// checkpointing is unconfigured. The key ties the file to this exact
+// study shape — study name, every config knob that influences job
+// results, and the job count — so resuming under different flags fails
+// loudly instead of splicing incompatible rows. extra carries
+// study-specific identity (seeds list, rtl flights).
+func (c StudyConfig) checkpoint(study string, jobs int, extra string) (*sweep.Checkpoint, error) {
+	if c.CheckpointPath == "" {
+		return nil, nil
+	}
+	key := fmt.Sprintf("specdsm/%s|apps=%s|nodes=%d|iters=%d|scale=%g|seed=%d|depths=%v|checks=%t|jobs=%d%s",
+		study, strings.Join(c.Apps, ","), c.Nodes, c.Iterations, c.Scale, c.Seed,
+		c.Depths, !c.DisableChecks, jobs, extra)
+	path := c.CheckpointPath + "." + study
+	if c.Resume {
+		return sweep.ResumeCheckpoint(path, key, c.CheckpointEvery)
+	}
+	return sweep.OpenCheckpoint(path, key, c.CheckpointEvery)
 }
 
 func (c StudyConfig) workloadParams() WorkloadParams {
@@ -92,12 +150,15 @@ func (a AppPrediction) Get(kind PredictorKind, depth int) PredictorResult {
 	return a.Results[PredictorConfig{Kind: kind, Depth: depth}]
 }
 
-// PredictorStudy runs Base-DSM once per application with all predictor
-// variants attached passively, yielding the data behind Figures 7-8 and
-// Tables 3-4. The per-application runs execute on a cfg.Parallel-wide
-// worker pool, each worker replaying its jobs through one run arena;
-// the result order is always cfg.Apps order.
-func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
+// PredictorStudyStream runs Base-DSM once per application with all
+// predictor variants attached passively and streams each application's
+// row, in cfg.Apps order, to emit as soon as it and all its
+// predecessors are done — the primary study path: rows flow through the
+// pool's bounded merge window (and, when configured, the study
+// checkpoint) instead of accumulating in a result slice. The
+// per-application runs execute on a cfg.Parallel-wide worker pool, each
+// worker replaying its jobs through one run arena.
+func PredictorStudyStream(cfg StudyConfig, emit func(i int, row AppPrediction) error) error {
 	cfg = cfg.withDefaults()
 	var observers []PredictorConfig
 	for _, kind := range Kinds() {
@@ -105,7 +166,12 @@ func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
 			observers = append(observers, PredictorConfig{Kind: kind, Depth: d})
 		}
 	}
-	return sweep.MapWorker(context.Background(), cfg.pool(), len(cfg.Apps), machine.NewArena,
+	n := len(cfg.Apps)
+	ck, err := cfg.checkpoint("predictor", n, "")
+	if err != nil {
+		return err
+	}
+	return sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
 		func(_ context.Context, arena *machine.Arena, i int) (AppPrediction, error) {
 			app := cfg.Apps[i]
 			w, err := AppWorkload(app, cfg.workloadParams())
@@ -131,7 +197,22 @@ func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
 				ap.Results[PredictorConfig{Kind: pr.Kind, Depth: pr.Depth}] = pr
 			}
 			return ap, nil
-		})
+		}, emit)
+}
+
+// PredictorStudy is PredictorStudyStream collected into a slice — the
+// convenient form for the paper's seven-application tables, where the
+// full study is small. The data behind Figures 7-8 and Tables 3-4.
+func PredictorStudy(cfg StudyConfig) ([]AppPrediction, error) {
+	cfg = cfg.withDefaults()
+	out := make([]AppPrediction, 0, len(cfg.Apps))
+	if err := PredictorStudyStream(cfg, func(_ int, row AppPrediction) error {
+		out = append(out, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AppSpeculation holds the Base/FR/SWI runs for one application (§7.4).
@@ -145,55 +226,63 @@ type AppSpeculation struct {
 // specModes is the mode column order of §7.4's comparison.
 var specModes = [3]Mode{ModeBase, ModeFR, ModeSWI}
 
-// SpeculationStudy runs every application under Base-DSM, FR-DSM, and
-// SWI-DSM (VMSP depth 1 active, as in the paper), yielding the data
-// behind Figure 9 and Table 5. Workload generation happens once per
-// application up front (served by the generation cache; programs are
-// read-only during simulation), then all len(Apps)×3 simulations fan
-// out across the cfg.Parallel-wide worker pool, one run arena per
-// worker.
+// SpeculationStudyStream runs every application under Base-DSM, FR-DSM,
+// and SWI-DSM (VMSP depth 1 active, as in the paper) and streams each
+// application's assembled row, in cfg.Apps order, to emit. The
+// len(Apps)×3 simulations fan out as individual jobs across the
+// cfg.Parallel-wide worker pool (one run arena per worker) and are
+// merged back mode-major; at most one application's partial mode runs
+// are buffered while its triple completes, and checkpointing operates
+// at single-simulation granularity so a resume re-runs only the missing
+// mode runs.
+func SpeculationStudyStream(cfg StudyConfig, emit func(i int, row AppSpeculation) error) error {
+	cfg = cfg.withDefaults()
+	nModes := len(specModes)
+	n := len(cfg.Apps) * nModes
+	ck, err := cfg.checkpoint("speculation", n, "")
+	if err != nil {
+		return err
+	}
+	// triple is the assembly window: the ordered merge delivers runs
+	// mode-major (apps outer, Base/FR/SWI inner), so an application's
+	// row completes every nModes emissions.
+	triple := make([]*RunResult, 0, nModes)
+	wp := cfg.workloadParams()
+	return sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
+		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
+			// Workload generation is served by the process-wide cache, so
+			// the three mode runs of an application share one program set
+			// no matter which workers claim them.
+			w, err := AppWorkload(cfg.Apps[j/nModes], wp)
+			if err != nil {
+				return nil, err
+			}
+			return runInArena(arena, w, MachineOptions{Mode: specModes[j%nModes], DisableChecks: cfg.DisableChecks})
+		},
+		func(j int, r *RunResult) error {
+			triple = append(triple, r)
+			if len(triple) < nModes {
+				return nil
+			}
+			i := j / nModes
+			row := AppSpeculation{App: cfg.Apps[i], Base: triple[0], FR: triple[1], SWI: triple[2]}
+			triple = triple[:0]
+			return emit(i, row)
+		})
+}
+
+// SpeculationStudy is SpeculationStudyStream collected into a slice,
+// yielding the data behind Figure 9 and Table 5.
 func SpeculationStudy(cfg StudyConfig) ([]AppSpeculation, error) {
 	cfg = cfg.withDefaults()
-	return speculationApps(cfg.pool(), cfg, cfg.workloadParams())
-}
-
-// speculationApps runs the app×mode simulation matrix for one seed's
-// workload parameters, merging results back into cfg.Apps order.
-func speculationApps(pool *sweep.Pool, cfg StudyConfig, wp WorkloadParams) ([]AppSpeculation, error) {
-	workloads := make([]Workload, len(cfg.Apps))
-	for i, app := range cfg.Apps {
-		w, err := AppWorkload(app, wp)
-		if err != nil {
-			return nil, err
-		}
-		workloads[i] = w
-	}
-	runs, err := sweep.MapWorker(context.Background(), pool, len(cfg.Apps)*len(specModes), machine.NewArena,
-		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
-			w := workloads[j/len(specModes)]
-			mode := specModes[j%len(specModes)]
-			return runInArena(arena, w, MachineOptions{Mode: mode, DisableChecks: cfg.DisableChecks})
-		})
-	if err != nil {
+	out := make([]AppSpeculation, 0, len(cfg.Apps))
+	if err := SpeculationStudyStream(cfg, func(_ int, row AppSpeculation) error {
+		out = append(out, row)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	return assembleSpeculation(cfg.Apps, runs), nil
-}
-
-// assembleSpeculation folds a mode-major run slice (len(apps)×len(
-// specModes), apps outer, specModes inner) back into per-app rows. It
-// is the single place the flattened job index maps to Base/FR/SWI.
-func assembleSpeculation(apps []string, runs []*RunResult) []AppSpeculation {
-	out := make([]AppSpeculation, len(apps))
-	for i, app := range apps {
-		out[i] = AppSpeculation{
-			App:  app,
-			Base: runs[i*len(specModes)+0],
-			FR:   runs[i*len(specModes)+1],
-			SWI:  runs[i*len(specModes)+2],
-		}
-	}
-	return out
+	return out, nil
 }
 
 // Figure7Row is one group of bars of Figure 7: base predictor accuracy at

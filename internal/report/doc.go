@@ -1,3 +1,11 @@
 // Package report renders experiment results as fixed-width text tables
 // and ASCII charts, mirroring the tables and figures of the paper.
+//
+// It also provides the online aggregation primitives behind streaming
+// studies: Stats (single-pass Welford mean/std/extrema), Grouped
+// (insertion-ordered per-key Stats, e.g. per-application accumulators
+// fed seed by seed), and Rolling (a fixed-capacity sliding window, e.g.
+// the recent-completion-rate window behind sweep progress ETAs). All
+// three hold O(1)-or-O(window) state, so aggregating a sweep's rows as
+// they stream keeps study memory independent of the total job count.
 package report

@@ -1,0 +1,154 @@
+package report
+
+import "math"
+
+// Stats is a single-pass (online) accumulator for mean, standard
+// deviation, and extrema, using Welford's algorithm. It is the streaming
+// replacement for buffer-everything-then-aggregate study code: memory is
+// O(1) regardless of how many values flow through, so a million-job
+// sweep can aggregate as rows arrive instead of holding them all.
+//
+// The zero value is ready to use. Stats is not safe for concurrent use;
+// the sweep engine's ordered merge delivers rows from one goroutine.
+type Stats struct {
+	n          int64
+	mean, m2   float64
+	minV, maxV float64
+}
+
+// Add folds one value into the accumulator.
+func (s *Stats) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.minV, s.maxV = x, x
+	} else {
+		if x < s.minV {
+			s.minV = x
+		}
+		if x > s.maxV {
+			s.maxV = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of values added.
+func (s *Stats) N() int64 { return s.n }
+
+// Mean returns the running mean (0 with no values).
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Var returns the population variance (0 with fewer than two values).
+func (s *Stats) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Stats) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest value seen (0 with no values).
+func (s *Stats) Min() float64 { return s.minV }
+
+// Max returns the largest value seen (0 with no values).
+func (s *Stats) Max() float64 { return s.maxV }
+
+// Grouped is a set of Stats accumulators keyed by string, remembering
+// first-insertion order so streamed aggregation reports groups in the
+// order the sweep first produced them (for the studies: cfg.Apps order).
+// The zero value is ready to use.
+type Grouped struct {
+	order []string
+	m     map[string]*Stats
+}
+
+// Add folds x into key's accumulator, creating it on first use.
+func (g *Grouped) Add(key string, x float64) {
+	if g.m == nil {
+		g.m = make(map[string]*Stats)
+	}
+	s := g.m[key]
+	if s == nil {
+		s = &Stats{}
+		g.m[key] = s
+		g.order = append(g.order, key)
+	}
+	s.Add(x)
+}
+
+// Keys returns the group keys in first-insertion order.
+func (g *Grouped) Keys() []string { return g.order }
+
+// Get returns the accumulator for key, or nil if the key was never added.
+func (g *Grouped) Get(key string) *Stats { return g.m[key] }
+
+// Rolling is a fixed-capacity sliding window over the most recent values:
+// bounded-memory aggregation over "the last K" rather than over
+// everything. It backs windowed rate estimates (sweep progress ETA).
+type Rolling struct {
+	buf   []float64
+	next  int   // ring write position
+	total int64 // values ever added
+}
+
+// NewRolling returns a window retaining the last capacity values
+// (capacity < 1 is treated as 1).
+func NewRolling(capacity int) *Rolling {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Rolling{buf: make([]float64, 0, capacity)}
+}
+
+// Add pushes a value, evicting the oldest once the window is full.
+func (r *Rolling) Add(x float64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, x)
+	} else {
+		r.buf[r.next] = x
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// N returns how many values the window currently holds.
+func (r *Rolling) N() int { return len(r.buf) }
+
+// Total returns how many values were ever added.
+func (r *Rolling) Total() int64 { return r.total }
+
+// Mean returns the mean of the retained values (0 when empty).
+func (r *Rolling) Mean() float64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.buf {
+		sum += v
+	}
+	return sum / float64(len(r.buf))
+}
+
+// First returns the oldest retained value (0 when empty).
+func (r *Rolling) First() float64 {
+	switch {
+	case len(r.buf) == 0:
+		return 0
+	case len(r.buf) < cap(r.buf):
+		return r.buf[0]
+	default:
+		return r.buf[r.next]
+	}
+}
+
+// Last returns the newest value (0 when empty).
+func (r *Rolling) Last() float64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	return r.buf[(r.next+cap(r.buf)-1)%cap(r.buf)]
+}

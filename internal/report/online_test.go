@@ -1,0 +1,98 @@
+package report
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatsMatchesTwoPass(t *testing.T) {
+	xs := []float64{4, 7, 13, 16, 1.5, -2.25, 99, 0.125}
+	var s Stats
+	for _, x := range xs {
+		s.Add(x)
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	std := math.Sqrt(m2 / float64(len(xs)))
+	if s.N() != int64(len(xs)) {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-mean) > 1e-12 {
+		t.Fatalf("mean %v, want %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Std()-std) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std(), std)
+	}
+	if s.Min() != -2.25 || s.Max() != 99 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStatsDegenerate(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatalf("zero-value stats not zero: %+v", s)
+	}
+	s.Add(5)
+	if s.Mean() != 5 || s.Std() != 0 || s.Min() != 5 || s.Max() != 5 {
+		t.Fatalf("single-value stats wrong: mean %v std %v", s.Mean(), s.Std())
+	}
+}
+
+func TestGroupedPreservesFirstInsertionOrder(t *testing.T) {
+	var g Grouped
+	for i := 0; i < 3; i++ { // several "seeds" over the same apps
+		g.Add("em3d", float64(i))
+		g.Add("moldyn", float64(10*i))
+		g.Add("appbt", float64(100*i))
+	}
+	want := []string{"em3d", "moldyn", "appbt"}
+	got := g.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+	if g.Get("moldyn").N() != 3 || g.Get("moldyn").Mean() != 10 {
+		t.Fatalf("moldyn stats wrong: %+v", g.Get("moldyn"))
+	}
+	if g.Get("absent") != nil {
+		t.Fatal("absent key returned non-nil stats")
+	}
+}
+
+func TestRollingWindow(t *testing.T) {
+	r := NewRolling(3)
+	if r.Mean() != 0 || r.First() != 0 || r.Last() != 0 {
+		t.Fatal("empty rolling not zero")
+	}
+	r.Add(1)
+	r.Add(2)
+	if r.N() != 2 || r.First() != 1 || r.Last() != 2 || r.Mean() != 1.5 {
+		t.Fatalf("partial window wrong: n=%d first=%v last=%v mean=%v", r.N(), r.First(), r.Last(), r.Mean())
+	}
+	r.Add(3)
+	r.Add(4) // evicts 1
+	if r.N() != 3 || r.First() != 2 || r.Last() != 4 {
+		t.Fatalf("full window wrong: n=%d first=%v last=%v", r.N(), r.First(), r.Last())
+	}
+	if r.Mean() != 3 {
+		t.Fatalf("mean = %v, want 3", r.Mean())
+	}
+	if r.Total() != 4 {
+		t.Fatalf("total = %d, want 4", r.Total())
+	}
+	if NewRolling(0).N() != 0 {
+		t.Fatal("capacity clamp broken")
+	}
+}

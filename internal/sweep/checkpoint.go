@@ -1,0 +1,436 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Checkpoint file format (version 1). A checkpoint persists the ordered
+// prefix of rows a streaming sweep has already emitted, so an
+// interrupted sweep resumes by replaying the saved prefix and running
+// only the remaining job indices. Because emission is strictly in index
+// order, "which jobs are complete" is exactly "the first Rows() jobs" —
+// at most one merge window of out-of-order work is lost on a crash.
+//
+// Layout (all integers little-endian):
+//
+//	magic      [8]byte  "SPDSMCKP"
+//	version    uint32   1
+//	keyLen     uint32
+//	key        [keyLen]byte   study identity (name + config + job count)
+//	count      uint64   number of row records in the payload
+//	payloadLen uint64   payload size in bytes
+//	payloadCRC uint32   CRC-32 (IEEE) of the payload
+//	payload    count records, each: uint32 length + gob-encoded row
+//
+// Every flush rewrites the whole snapshot to a temp file in the same
+// directory and renames it over the old one, so a crash at any moment
+// leaves either the previous complete snapshot or the new complete
+// snapshot — never a torn file. Rows pending in memory between flushes
+// are bounded by Every, and the rewrite streams the old payload from
+// disk, so checkpoint memory does not scale with the sweep size.
+const (
+	ckptMagic   = "SPDSMCKP"
+	ckptVersion = 1
+)
+
+// DefaultCheckpointEvery is the flush cadence used when Every is zero:
+// the snapshot is rewritten after this many newly completed rows.
+const DefaultCheckpointEvery = 16
+
+// Sentinel errors for checkpoint validation. All are wrapped with the
+// file path and a human-readable cause.
+var (
+	// ErrCheckpointExists reports that OpenCheckpoint found a previous
+	// checkpoint file; the caller must either resume from it or remove it
+	// — a fresh sweep never silently clobbers saved work.
+	ErrCheckpointExists = errors.New("checkpoint file already exists (resume, or remove it to start over)")
+	// ErrCheckpointCorrupt reports a structurally invalid checkpoint:
+	// bad magic, a truncated header or payload, or a CRC mismatch.
+	ErrCheckpointCorrupt = errors.New("corrupt checkpoint file")
+	// ErrCheckpointMismatch reports a well-formed checkpoint that does
+	// not belong to this sweep: wrong version, wrong study key, or more
+	// saved rows than the sweep has jobs.
+	ErrCheckpointMismatch = errors.New("checkpoint does not match this sweep")
+)
+
+// Checkpoint persists the emitted-row prefix of one streaming sweep.
+// Create one with OpenCheckpoint (fresh) or ResumeCheckpoint (continue),
+// pass it to StreamCheckpoint, and rows are appended and flushed
+// automatically. A Checkpoint is used from the merge goroutine only and
+// is not safe for concurrent use.
+type Checkpoint struct {
+	path  string
+	key   string
+	every int
+
+	rows    int    // rows persisted in the on-disk snapshot
+	payload int64  // payload bytes in the on-disk snapshot
+	crc     uint32 // running CRC-32 of the on-disk payload
+
+	pend     bytes.Buffer // serialized rows not yet flushed
+	pendRows int
+}
+
+// OpenCheckpoint starts a fresh checkpoint at path for the study
+// identified by key, flushing every `every` rows (0 selects
+// DefaultCheckpointEvery). An existing file at path is an error
+// (ErrCheckpointExists): starting over must be an explicit choice. The
+// empty initial snapshot is written immediately, so an unwritable path
+// fails before any simulation work is spent.
+func OpenCheckpoint(path, key string, every int) (*Checkpoint, error) {
+	if _, err := os.Lstat(path); err == nil {
+		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, ErrCheckpointExists)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+	}
+	ck := newCheckpoint(path, key, every)
+	if err := ck.Flush(); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// ResumeCheckpoint continues from the checkpoint at path. A missing file
+// starts fresh (so the same resume-enabled command line works both
+// before and after an interruption); an existing file is fully
+// validated — magic, version, study key, row count, payload length, and
+// CRC — and any defect is reported as a descriptive error rather than
+// silently recomputing or panicking downstream.
+func ResumeCheckpoint(path, key string, every int) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return OpenCheckpoint(path, key, every)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+	}
+	defer f.Close()
+	ck := newCheckpoint(path, key, every)
+	if err := ck.load(f); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+func newCheckpoint(path, key string, every int) *Checkpoint {
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	return &Checkpoint{path: path, key: key, every: every, crc: 0}
+}
+
+// Rows returns how many rows the on-disk snapshot holds (the resume
+// point: jobs [0, Rows()) will be replayed, not re-run).
+func (ck *Checkpoint) Rows() int { return ck.rows }
+
+// Path returns the checkpoint file path.
+func (ck *Checkpoint) Path() string { return ck.path }
+
+func (ck *Checkpoint) corrupt(format string, args ...any) error {
+	return fmt.Errorf("sweep: checkpoint %s: %w: %s", ck.path, ErrCheckpointCorrupt, fmt.Sprintf(format, args...))
+}
+
+func (ck *Checkpoint) mismatch(format string, args ...any) error {
+	return fmt.Errorf("sweep: checkpoint %s: %w: %s", ck.path, ErrCheckpointMismatch, fmt.Sprintf(format, args...))
+}
+
+// header is the decoded fixed part of a checkpoint file.
+type ckptHeader struct {
+	key        string
+	count      uint64
+	payloadLen uint64
+	payloadCRC uint32
+}
+
+func (ck *Checkpoint) headerLen() int {
+	return 8 + 4 + 4 + len(ck.key) + 8 + 8 + 4
+}
+
+func writeHeader(w io.Writer, key string, count, payloadLen uint64, crc uint32) error {
+	var b bytes.Buffer
+	b.WriteString(ckptMagic)
+	var u32 [4]byte
+	var u64 [8]byte
+	put32 := func(v uint32) { binary.LittleEndian.PutUint32(u32[:], v); b.Write(u32[:]) }
+	put64 := func(v uint64) { binary.LittleEndian.PutUint64(u64[:], v); b.Write(u64[:]) }
+	put32(ckptVersion)
+	put32(uint32(len(key)))
+	b.WriteString(key)
+	put64(count)
+	put64(payloadLen)
+	put32(crc)
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// readHeader parses and structurally validates the header. Key/version
+// mismatches are left to the caller, which knows the expected values.
+func (ck *Checkpoint) readHeader(r io.Reader) (ckptHeader, error) {
+	var h ckptHeader
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return h, ck.corrupt("file shorter than the %d-byte magic", len(magic))
+	}
+	if string(magic[:]) != ckptMagic {
+		return h, ck.corrupt("bad magic %q (not a sweep checkpoint file)", magic[:])
+	}
+	var u32 [4]byte
+	var u64 [8]byte
+	read32 := func(what string) (uint32, error) {
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return 0, ck.corrupt("truncated header: missing %s", what)
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	read64 := func(what string) (uint64, error) {
+		if _, err := io.ReadFull(r, u64[:]); err != nil {
+			return 0, ck.corrupt("truncated header: missing %s", what)
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	version, err := read32("version")
+	if err != nil {
+		return h, err
+	}
+	if version != ckptVersion {
+		return h, ck.mismatch("format version %d, this build reads version %d", version, ckptVersion)
+	}
+	keyLen, err := read32("key length")
+	if err != nil {
+		return h, err
+	}
+	const maxKeyLen = 1 << 20
+	if keyLen > maxKeyLen {
+		return h, ck.corrupt("implausible key length %d", keyLen)
+	}
+	keyBuf := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, keyBuf); err != nil {
+		return h, ck.corrupt("truncated header: key cut short")
+	}
+	h.key = string(keyBuf)
+	if h.count, err = read64("row count"); err != nil {
+		return h, err
+	}
+	if h.payloadLen, err = read64("payload length"); err != nil {
+		return h, err
+	}
+	if h.payloadCRC, err = read32("payload CRC"); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// load validates an existing checkpoint file and adopts its state.
+func (ck *Checkpoint) load(f *os.File) error {
+	h, err := ck.readHeader(f)
+	if err != nil {
+		return err
+	}
+	if h.key != ck.key {
+		return ck.mismatch("recorded for a different study/config:\n  file: %s\n  want: %s", h.key, ck.key)
+	}
+	// Walk the payload record frames, verifying the byte length, record
+	// count, and CRC the header promises.
+	var (
+		crc      uint32
+		consumed uint64
+		records  uint64
+		lenBuf   [4]byte
+	)
+	lr := io.LimitReader(f, int64(h.payloadLen))
+	for consumed < h.payloadLen {
+		if _, err := io.ReadFull(lr, lenBuf[:]); err != nil {
+			return ck.corrupt("truncated payload: %d of %d bytes present", consumed, h.payloadLen)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, lenBuf[:])
+		recLen := binary.LittleEndian.Uint32(lenBuf[:])
+		consumed += 4
+		if uint64(recLen) > h.payloadLen-consumed {
+			return ck.corrupt("record %d overruns the payload (%d bytes claimed, %d remain)",
+				records, recLen, h.payloadLen-consumed)
+		}
+		rec := make([]byte, recLen)
+		if _, err := io.ReadFull(lr, rec); err != nil {
+			return ck.corrupt("truncated payload: record %d cut short", records)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, rec)
+		consumed += uint64(recLen)
+		records++
+	}
+	if records != h.count {
+		return ck.corrupt("header promises %d rows, payload holds %d", h.count, records)
+	}
+	if crc != h.payloadCRC {
+		return ck.corrupt("payload CRC mismatch (file %08x, computed %08x)", h.payloadCRC, crc)
+	}
+	if extra, err := io.CopyN(io.Discard, f, 1); err == nil && extra > 0 {
+		return ck.corrupt("trailing data after the payload")
+	}
+	ck.rows = int(h.count)
+	ck.payload = int64(h.payloadLen)
+	ck.crc = crc
+	return nil
+}
+
+// AppendRow serializes one completed row into the pending buffer,
+// flushing the snapshot when the cadence is reached. Rows must be
+// appended in emission (index) order.
+func AppendRow[T any](ck *Checkpoint, v T) error {
+	var rec bytes.Buffer
+	if err := gob.NewEncoder(&rec).Encode(&v); err != nil {
+		return fmt.Errorf("sweep: checkpoint %s: encode row %d: %w", ck.path, ck.rows+ck.pendRows, err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(rec.Len()))
+	ck.pend.Write(lenBuf[:])
+	ck.pend.Write(rec.Bytes())
+	ck.pendRows++
+	if ck.pendRows >= ck.every {
+		return ck.Flush()
+	}
+	return nil
+}
+
+// Flush rewrites the snapshot to include every pending row: a temp file
+// in the same directory receives the new header, the old payload
+// (streamed from the previous snapshot), and the pending records, is
+// synced, and atomically renamed over the old file.
+func (ck *Checkpoint) Flush() error {
+	newCount := uint64(ck.rows + ck.pendRows)
+	newLen := uint64(ck.payload) + uint64(ck.pend.Len())
+	newCRC := crc32.Update(ck.crc, crc32.IEEETable, ck.pend.Bytes())
+
+	tmp := ck.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
+	}
+	if err := writeHeader(f, ck.key, newCount, newLen, newCRC); err != nil {
+		return fail(err)
+	}
+	if ck.payload > 0 {
+		old, err := os.Open(ck.path)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := old.Seek(int64(ck.headerLen()), io.SeekStart); err != nil {
+			old.Close()
+			return fail(err)
+		}
+		if _, err := io.CopyN(f, old, ck.payload); err != nil {
+			old.Close()
+			return fail(err)
+		}
+		old.Close()
+	}
+	if _, err := f.Write(ck.pend.Bytes()); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
+	}
+	if err := os.Rename(tmp, ck.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
+	}
+	ck.rows = int(newCount)
+	ck.payload = int64(newLen)
+	ck.crc = newCRC
+	ck.pend.Reset()
+	ck.pendRows = 0
+	return nil
+}
+
+// ReplayCheckpoint decodes the saved rows in order and hands each to
+// emit with its original job index. The file was already validated at
+// ResumeCheckpoint time; decode failures still surface as corruption
+// errors rather than panics.
+func ReplayCheckpoint[T any](ck *Checkpoint, emit func(i int, v T) error) error {
+	if ck.rows == 0 {
+		return nil
+	}
+	f, err := os.Open(ck.path)
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(int64(ck.headerLen()), io.SeekStart); err != nil {
+		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
+	}
+	var lenBuf [4]byte
+	for i := 0; i < ck.rows; i++ {
+		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
+			return ck.corrupt("replay: row %d frame missing", i)
+		}
+		rec := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+		if _, err := io.ReadFull(f, rec); err != nil {
+			return ck.corrupt("replay: row %d cut short", i)
+		}
+		var v T
+		if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&v); err != nil {
+			return ck.corrupt("replay: row %d does not decode: %v", i, err)
+		}
+		if err := emit(i, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamCheckpoint is StreamWorker with persistence: rows already in the
+// checkpoint are replayed through emit without re-running their jobs,
+// the remaining indices run on the pool, and every newly emitted row is
+// appended to the checkpoint (flushed on the checkpoint's cadence, and
+// once more when the sweep ends, successfully or not). A nil checkpoint
+// degenerates to plain StreamWorker.
+//
+// Because replayed rows are byte-identical to the rows the original run
+// emitted and new rows are produced by the same deterministic jobs, an
+// interrupted-then-resumed sweep emits exactly the sequence an
+// uninterrupted run would have — at any worker count.
+func StreamCheckpoint[S, T any](ctx context.Context, p *Pool, n int, ck *Checkpoint, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error) error {
+	if ck == nil {
+		return StreamWorker(ctx, p, n, newState, fn, emit)
+	}
+	if ck.rows > n {
+		return ck.mismatch("holds %d rows but the sweep has only %d jobs", ck.rows, n)
+	}
+	if err := ReplayCheckpoint(ck, emit); err != nil {
+		return err
+	}
+	if ck.rows == n {
+		return nil
+	}
+	base := ck.rows
+	err := StreamWorker(ctx, p, n-base, newState,
+		func(ctx context.Context, s S, j int) (T, error) { return fn(ctx, s, base+j) },
+		func(j int, v T) error {
+			if err := AppendRow(ck, v); err != nil {
+				return err
+			}
+			return emit(base+j, v)
+		})
+	// Persist whatever completed even when the sweep failed or was
+	// cancelled — that is the resume point. The sweep's own error wins.
+	if ferr := ck.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}

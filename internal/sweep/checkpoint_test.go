@@ -1,0 +1,262 @@
+package sweep_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"specdsm/internal/sweep"
+)
+
+// row is a representative study row: nested struct, map, slice — the
+// shapes the real drivers checkpoint.
+type row struct {
+	Index  int
+	Name   string
+	Values map[string]float64
+	Series []int64
+}
+
+func mkRow(i int) row {
+	return row{
+		Index:  i,
+		Name:   fmt.Sprintf("app-%d", i%3),
+		Values: map[string]float64{"acc": float64(i) * 1.5, "cov": 1 / float64(i+1)},
+		Series: []int64{int64(i), int64(i * i)},
+	}
+}
+
+func ckPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "study.ckpt")
+}
+
+// runCheckpointed streams n jobs through a checkpoint, failing job
+// failAt (-1 = none), and returns the emitted rows and error.
+func runCheckpointed(t *testing.T, path string, n, workers, every, failAt int, resume bool, ran *atomic.Int64) ([]row, error) {
+	t.Helper()
+	var ck *sweep.Checkpoint
+	var err error
+	if resume {
+		ck, err = sweep.ResumeCheckpoint(path, "test-study|n=unbounded", every)
+	} else {
+		ck, err = sweep.OpenCheckpoint(path, "test-study|n=unbounded", every)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []row
+	err = sweep.StreamCheckpoint(context.Background(), sweep.New(workers), n, ck, func() struct{} { return struct{}{} },
+		func(_ context.Context, _ struct{}, i int) (row, error) {
+			if ran != nil {
+				ran.Add(1)
+			}
+			if i == failAt {
+				return row{}, fmt.Errorf("job %d interrupted", i)
+			}
+			return mkRow(i), nil
+		},
+		func(i int, v row) error {
+			out = append(out, v)
+			return nil
+		})
+	return out, err
+}
+
+func TestCheckpointInterruptResumeEqualsFresh(t *testing.T) {
+	const n = 50
+	// Uninterrupted reference run, no checkpoint.
+	var want []row
+	if err := sweep.Stream(context.Background(), sweep.New(1), n,
+		func(_ context.Context, i int) (row, error) { return mkRow(i), nil },
+		func(i int, v row) error { want = append(want, v); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			path := ckPath(t)
+			// First run dies at job 23: rows up to the last flush survive.
+			if _, err := runCheckpointed(t, path, n, workers, 4, 23, false, nil); err == nil {
+				t.Fatal("interrupted run reported success")
+			}
+			var ran atomic.Int64
+			got, err := runCheckpointed(t, path, n, workers, 4, -1, true, &ran)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("resumed emission diverged from uninterrupted run:\n got %+v\nwant %+v", got, want)
+			}
+			if ran.Load() == n {
+				t.Fatal("resume re-ran every job; checkpoint replay did nothing")
+			}
+		})
+	}
+}
+
+func TestCheckpointCompletedSweepReplaysWithoutWork(t *testing.T) {
+	path := ckPath(t)
+	const n = 20
+	want, err := runCheckpointed(t, path, n, 4, 3, -1, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	got, err := runCheckpointed(t, path, n, 4, 3, -1, true, &ran)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("fully checkpointed sweep still ran %d jobs", ran.Load())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed rows diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointOpenRefusesExistingFile(t *testing.T) {
+	path := ckPath(t)
+	if _, err := runCheckpointed(t, path, 5, 1, 2, -1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sweep.OpenCheckpoint(path, "test-study|n=unbounded", 2)
+	if !errors.Is(err, sweep.ErrCheckpointExists) {
+		t.Fatalf("err = %v, want ErrCheckpointExists", err)
+	}
+}
+
+func TestCheckpointKeyMismatch(t *testing.T) {
+	path := ckPath(t)
+	if _, err := sweep.OpenCheckpoint(path, "study-A", 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sweep.ResumeCheckpoint(path, "study-B", 2)
+	if !errors.Is(err, sweep.ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestCheckpointMoreRowsThanJobs(t *testing.T) {
+	path := ckPath(t)
+	if _, err := runCheckpointed(t, path, 30, 1, 1, -1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runCheckpointed(t, path, 10, 1, 1, -1, true, nil)
+	if !errors.Is(err, sweep.ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	mutate := map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)-5] },
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"flipped byte": func(b []byte) []byte { b[len(b)-3] ^= 0x01; return b },
+		"trailing":     func(b []byte) []byte { return append(b, 0xde, 0xad) },
+		"empty":        func(b []byte) []byte { return nil },
+		"version": func(b []byte) []byte {
+			b[8] = 0xfe // version field follows the 8-byte magic
+			return b
+		},
+	}
+	for name, fn := range mutate {
+		fn := fn
+		t.Run(name, func(t *testing.T) {
+			path := ckPath(t)
+			if _, err := runCheckpointed(t, path, 12, 1, 2, -1, false, nil); err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, fn(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = sweep.ResumeCheckpoint(path, "test-study|n=unbounded", 2)
+			if err == nil {
+				t.Fatal("corrupted checkpoint accepted")
+			}
+			if !errors.Is(err, sweep.ErrCheckpointCorrupt) && !errors.Is(err, sweep.ErrCheckpointMismatch) {
+				t.Fatalf("err = %v, want corrupt/mismatch sentinel", err)
+			}
+		})
+	}
+}
+
+func TestCheckpointResumeMissingFileStartsFresh(t *testing.T) {
+	path := ckPath(t)
+	got, err := runCheckpointed(t, path, 8, 2, 2, -1, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("emitted %d rows, want 8", len(got))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+}
+
+// TestCheckpointFlushLeavesNoTempFile pins the write-rename discipline:
+// after any successful flush the temp file is gone and the snapshot is
+// complete.
+func TestCheckpointFlushLeavesNoTempFile(t *testing.T) {
+	path := ckPath(t)
+	if _, err := runCheckpointed(t, path, 9, 1, 2, -1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// The snapshot must validate cleanly and hold all 9 rows.
+	ck, err := sweep.ResumeCheckpoint(path, "test-study|n=unbounded", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Rows() != 9 {
+		t.Fatalf("snapshot holds %d rows, want 9", ck.Rows())
+	}
+}
+
+// TestStreamWindowBoundsLookahead pins the bounded-merge contract: with
+// Window = W, no job starts more than W indices ahead of the emission
+// frontier, even when low indices are slow.
+func TestStreamWindowBoundsLookahead(t *testing.T) {
+	const (
+		n      = 200
+		window = 8
+	)
+	var emitted atomic.Int64
+	var maxAhead atomic.Int64
+	p := sweep.New(16)
+	p.Window = window
+	err := sweep.Stream(context.Background(), p, n,
+		func(_ context.Context, i int) (int, error) {
+			ahead := int64(i) - emitted.Load()
+			for {
+				cur := maxAhead.Load()
+				if ahead <= cur || maxAhead.CompareAndSwap(cur, ahead) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			emitted.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxAhead.Load(); got > window {
+		t.Fatalf("job ran %d ahead of the merge frontier, window is %d", got, window)
+	}
+}

@@ -27,8 +27,25 @@
 // depend on which worker ran them, the ordered-merge guarantee is
 // unchanged.
 //
+// Streaming is bounded-memory: Pool.Window caps how far job claiming may
+// run ahead of the ordered merge, so completed-but-unemitted results
+// never exceed the window regardless of the total job count — the
+// property that lets million-job sweeps aggregate online instead of
+// buffering every result.
+//
+// Checkpointing makes streams restartable. A Checkpoint persists the
+// emitted-row prefix (versioned header, CRC-verified payload, every
+// flush an atomic temp-file+rename snapshot) and StreamCheckpoint
+// replays saved rows then runs only the missing indices, so an
+// interrupted-then-resumed sweep emits exactly the sequence an
+// uninterrupted run would have, at any worker count. Resume validation
+// is strict: truncated, corrupt, or mismatched (wrong study, wrong
+// version) files fail with descriptive errors instead of silently
+// recomputing.
+//
 // Pool.OnJobDone is an optional per-job completion hook (index +
 // wall-clock duration) for live progress on big matrices; Progress
-// adapts it to a log/slog logger. The hook observes jobs, never
-// influences them.
+// adapts it to a log/slog logger, and ProgressETA adds completed/total
+// counts plus an ETA from a sliding window of recent completions. The
+// hook observes jobs, never influences them.
 package sweep

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"specdsm/internal/report"
 )
 
 // Pool sizes the worker set for Map, Stream, and their worker-state
@@ -17,11 +19,19 @@ import (
 // freely; a non-nil OnJobDone must itself be safe for concurrent use.
 type Pool struct {
 	workers int
+	// Window bounds how far job claiming may run ahead of the ordered
+	// merge: a worker only starts job i once i falls within Window slots
+	// of the next index to be emitted. Completed-but-unemitted results
+	// are therefore capped at Window, so a streaming sweep's buffer
+	// memory is a function of the window, not of the total job count.
+	// Zero selects a default of max(4×workers, 64). The window only
+	// throttles; it never changes results or their order.
+	Window int
 	// OnJobDone, when non-nil, is invoked after every successfully
 	// completed job with the job's index and wall-clock duration, from
 	// the goroutine that ran the job — concurrently and out of index
 	// order on a multi-worker pool. It exists for progress reporting
-	// (see Progress) and must not affect results.
+	// (see Progress and ProgressETA) and must not affect results.
 	OnJobDone func(index int, d time.Duration)
 }
 
@@ -45,6 +55,67 @@ func (p *Pool) Workers() int {
 // Sequential reports whether the pool degenerates to in-order,
 // single-goroutine execution.
 func (p *Pool) Sequential() bool { return p.Workers() == 1 }
+
+// window resolves the merge-window size for the given worker count.
+func (p *Pool) window(workers int) int {
+	if p != nil && p.Window > 0 {
+		return p.Window
+	}
+	w := 4 * workers
+	if w < 64 {
+		w = 64
+	}
+	return w
+}
+
+// mergeGate throttles job claiming so that no job whose index lies at or
+// beyond base+window starts before the merge has emitted up to base.
+// With emission strictly in index order this caps completed-but-unemitted
+// results at window entries.
+type mergeGate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	base   int // results emitted so far
+	window int
+	closed bool
+}
+
+func newMergeGate(window int) *mergeGate {
+	g := &mergeGate{window: window}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// waitTurn blocks until job i may run (i < base+window), the gate closes,
+// or ctx is cancelled, and reports whether the job should still run.
+func (g *mergeGate) waitTurn(ctx context.Context, i int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i >= g.base+g.window && !g.closed && ctx.Err() == nil {
+		g.cond.Wait()
+	}
+	return !g.closed && ctx.Err() == nil
+}
+
+// advance publishes the new emitted count and wakes gated workers.
+func (g *mergeGate) advance(base int) {
+	g.mu.Lock()
+	g.base = base
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// close releases every current and future waiter; used when the sweep
+// stops early (failure, emit error) so gated workers can exit.
+func (g *mergeGate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// wake re-evaluates every waiter's condition (e.g. after ctx cancel).
+func (g *mergeGate) wake() { g.cond.Broadcast() }
 
 // PanicError is a panic recovered from a job, preserving the job index,
 // the panic value, and the goroutine stack at the panic site.
@@ -120,14 +191,27 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 		v   T
 		err error
 	}
-	// Buffered to n so workers never block on send: the merger is then
-	// free to drain until close without any worker-side coordination.
-	results := make(chan item, n)
+	// The merge window bounds buffered results: jobs at or beyond
+	// base+window do not start until the merge catches up, so at most
+	// window completed results plus workers in-flight jobs exist at any
+	// moment. Sizing the channel to that bound means workers never block
+	// on send and the merger is free to drain until close without any
+	// further worker-side coordination.
+	window := p.window(workers)
+	results := make(chan item, window+workers)
+	gate := newMergeGate(window)
+	stopWake := context.AfterFunc(ctx, gate.wake)
+	defer stopWake()
 	var (
 		next atomic.Int64 // next index to claim
 		stop atomic.Bool  // set on failure: claim no further jobs
 		wg   sync.WaitGroup
 	)
+	// halt stops dispatch: no new claims, and gated workers wake to exit.
+	halt := func() {
+		stop.Store(true)
+		gate.close()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -145,6 +229,9 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					return
+				}
+				if !gate.waitTurn(ctx, i) {
 					return
 				}
 				if !hasState {
@@ -175,7 +262,7 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 			if it.i < failIdx {
 				failIdx, failErr = it.i, it.err
 			}
-			stop.Store(true)
+			halt()
 			continue
 		}
 		if it.i >= failIdx || emitErr != nil {
@@ -190,10 +277,11 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 			delete(pending, nextEmit)
 			if err := emit(nextEmit, v); err != nil {
 				emitErr = err
-				stop.Store(true)
+				halt()
 				break
 			}
 			nextEmit++
+			gate.advance(nextEmit)
 		}
 	}
 	switch {
@@ -271,5 +359,44 @@ func Progress(logger *slog.Logger) func(index int, d time.Duration) {
 	return func(index int, d time.Duration) {
 		logger.Info("sweep job done",
 			"index", index, "completed", done.Add(1), "dur", d.Round(time.Millisecond))
+	}
+}
+
+// etaWindow is how many recent completion timestamps ProgressETA keeps:
+// the ETA tracks the *current* completion rate (workers warmed up, caches
+// hot) rather than averaging over the whole sweep's history.
+const etaWindow = 32
+
+// ProgressETA is Progress for a sweep of known total job count: every
+// completed job logs index, completed/total, duration, and an ETA
+// estimated from the completion rate over a sliding window of the most
+// recent completions (report.Rolling). Like Progress, the returned
+// callback is safe for concurrent use and only observes the sweep.
+func ProgressETA(logger *slog.Logger, total int) func(index int, d time.Duration) {
+	var (
+		mu    sync.Mutex
+		times = report.NewRolling(etaWindow)
+		done  int64
+	)
+	start := time.Now()
+	return func(index int, d time.Duration) {
+		elapsed := time.Since(start)
+		mu.Lock()
+		done++
+		n := done
+		times.Add(float64(elapsed))
+		remaining := float64(total) - float64(n)
+		var eta time.Duration
+		if span := times.Last() - times.First(); times.N() >= 2 && span > 0 && remaining > 0 {
+			// Windowed rate: N()-1 completions over the window's span.
+			perJob := span / float64(times.N()-1)
+			eta = time.Duration(remaining * perJob)
+		} else if n > 0 && remaining > 0 {
+			eta = time.Duration(remaining * float64(elapsed) / float64(n))
+		}
+		mu.Unlock()
+		logger.Info("sweep job done",
+			"index", index, "completed", n, "total", total,
+			"dur", d.Round(time.Millisecond), "eta", eta.Round(100*time.Millisecond))
 	}
 }

@@ -164,6 +164,40 @@ func TestProgressLogsThroughSlog(t *testing.T) {
 	}
 }
 
+// TestProgressETALogsTotalsAndETA checks the ETA adapter: every job
+// logs completed/total, and an eta attribute appears once enough
+// completions exist to estimate a rate.
+func TestProgressETALogsTotalsAndETA(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	const n = 12
+	p := sweep.New(4)
+	p.OnJobDone = sweep.ProgressETA(logger, n)
+	_, err := sweep.Map(context.Background(), p, n,
+		func(_ context.Context, i int) (int, error) {
+			time.Sleep(200 * time.Microsecond)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != n {
+		t.Fatalf("got %d log lines, want %d:\n%s", len(lines), n, out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("total=%d", n)) {
+		t.Errorf("total never logged:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("completed=%d", n)) {
+		t.Errorf("final completed count never logged:\n%s", out)
+	}
+	if !strings.Contains(out, "eta=") {
+		t.Errorf("no eta attribute logged:\n%s", out)
+	}
+}
+
 // lockedWriter serializes concurrent handler writes in the test.
 type lockedWriter struct {
 	w  *bytes.Buffer

@@ -66,71 +66,78 @@ type App struct {
 	Generate Generator
 }
 
-// Apps returns the seven applications in the paper's (alphabetical) order.
-func Apps() []App {
-	return []App{
-		{
-			Name:              "appbt",
-			Description:       "gaussian elimination over subcubes; edge blocks alternate consumers across dimensions; pipeline producer/consumer",
-			PaperInput:        "12x12x12 cubes",
-			PaperIterations:   40,
-			DefaultIterations: 9,
-			Generate:          AppBT,
-		},
-		{
-			Name:              "barnes",
-			Description:       "octree force calculation; rapidly-changing read sharing with per-iteration reader re-ordering; low communication ratio",
-			PaperInput:        "4K particles",
-			PaperIterations:   21,
-			DefaultIterations: 8,
-			Generate:          Barnes,
-		},
-		{
-			Name:              "em3d",
-			Description:       "static bipartite-graph producer/consumer with small read degree; producer writes each block once per iteration",
-			PaperInput:        "76800 nodes, 15% remote",
-			PaperIterations:   50,
-			DefaultIterations: 8,
-			Generate:          EM3D,
-		},
-		{
-			Name:              "moldyn",
-			Description:       "molecular dynamics: producer/consumer phase (producer re-reads after writing) plus static migratory force accumulation",
-			PaperInput:        "2048 particles",
-			PaperIterations:   60,
-			DefaultIterations: 8,
-			Generate:          Moldyn,
-		},
-		{
-			Name:              "ocean",
-			Description:       "near-neighbour stencil with multi-sweep writes (defeats SWI) and a lock-ordered reduction whose entry order changes per iteration",
-			PaperInput:        "130x130 array",
-			PaperIterations:   12,
-			DefaultIterations: 8,
-			Generate:          Ocean,
-		},
-		{
-			Name:              "tomcatv",
-			Description:       "row-partitioned stencil; producer reads-then-writes its boundary, correction phase rewrites half the boundary blocks",
-			PaperInput:        "128x128 array",
-			PaperIterations:   50,
-			DefaultIterations: 8,
-			Generate:          Tomcatv,
-		},
-		{
-			Name:              "unstructured",
-			Description:       "CFD mesh with wide read sharing (~12 readers/write, re-ordered per iteration) and a reduction with alternating migratory participants",
-			PaperInput:        "mesh.2K",
-			PaperIterations:   50,
-			DefaultIterations: 8,
-			Generate:          Unstructured,
-		},
-	}
+// apps is the immutable application registry; ByName iterates it
+// directly so per-job lookups in streaming sweeps stay allocation-free.
+var apps = []App{
+	{
+		Name:              "appbt",
+		Description:       "gaussian elimination over subcubes; edge blocks alternate consumers across dimensions; pipeline producer/consumer",
+		PaperInput:        "12x12x12 cubes",
+		PaperIterations:   40,
+		DefaultIterations: 9,
+		Generate:          AppBT,
+	},
+	{
+		Name:              "barnes",
+		Description:       "octree force calculation; rapidly-changing read sharing with per-iteration reader re-ordering; low communication ratio",
+		PaperInput:        "4K particles",
+		PaperIterations:   21,
+		DefaultIterations: 8,
+		Generate:          Barnes,
+	},
+	{
+		Name:              "em3d",
+		Description:       "static bipartite-graph producer/consumer with small read degree; producer writes each block once per iteration",
+		PaperInput:        "76800 nodes, 15% remote",
+		PaperIterations:   50,
+		DefaultIterations: 8,
+		Generate:          EM3D,
+	},
+	{
+		Name:              "moldyn",
+		Description:       "molecular dynamics: producer/consumer phase (producer re-reads after writing) plus static migratory force accumulation",
+		PaperInput:        "2048 particles",
+		PaperIterations:   60,
+		DefaultIterations: 8,
+		Generate:          Moldyn,
+	},
+	{
+		Name:              "ocean",
+		Description:       "near-neighbour stencil with multi-sweep writes (defeats SWI) and a lock-ordered reduction whose entry order changes per iteration",
+		PaperInput:        "130x130 array",
+		PaperIterations:   12,
+		DefaultIterations: 8,
+		Generate:          Ocean,
+	},
+	{
+		Name:              "tomcatv",
+		Description:       "row-partitioned stencil; producer reads-then-writes its boundary, correction phase rewrites half the boundary blocks",
+		PaperInput:        "128x128 array",
+		PaperIterations:   50,
+		DefaultIterations: 8,
+		Generate:          Tomcatv,
+	},
+	{
+		Name:              "unstructured",
+		Description:       "CFD mesh with wide read sharing (~12 readers/write, re-ordered per iteration) and a reduction with alternating migratory participants",
+		PaperInput:        "mesh.2K",
+		PaperIterations:   50,
+		DefaultIterations: 8,
+		Generate:          Unstructured,
+	},
 }
 
-// ByName looks up an application.
+// Apps returns the seven applications in the paper's (alphabetical)
+// order. The returned slice is a fresh copy the caller may reorder.
+func Apps() []App {
+	out := make([]App, len(apps))
+	copy(out, apps)
+	return out
+}
+
+// ByName looks up an application without allocating.
 func ByName(name string) (App, bool) {
-	for _, a := range Apps() {
+	for _, a := range apps {
 		if a.Name == name {
 			return a, true
 		}
@@ -140,7 +147,6 @@ func ByName(name string) (App, bool) {
 
 // Names returns the application names in order.
 func Names() []string {
-	apps := Apps()
 	out := make([]string, len(apps))
 	for i, a := range apps {
 		out[i] = a.Name

@@ -37,6 +37,12 @@ const (
 // Kinds lists the predictor variants in the paper's comparison order.
 func Kinds() []PredictorKind { return []PredictorKind{Cosmos, MSP, VMSP} }
 
+// MaxDepth is the largest supported predictor history depth (the paper
+// evaluates depths 1, 2, and 4). Every API that takes a depth accepts
+// the range [1, MaxDepth]; tools can validate against it up front
+// instead of discovering the limit mid-run.
+const MaxDepth = core.MaxDepth
+
 func (k PredictorKind) kind() (core.Kind, error) {
 	switch k {
 	case Cosmos:
