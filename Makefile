@@ -7,9 +7,9 @@ SHELL := /bin/bash
 # BENCH_OUT names the trajectory point `make bench` records. Bump the PR
 # number when landing a perf PR so the old point stays committed next to
 # the new one and bench-check can diff them.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: check fmt vet build test race bench benchsmoke bench-check determinism
+.PHONY: check fmt vet build test race bench benchsmoke bench-check determinism profile
 
 # check is the full gate: formatting, vet, build, the test suite under
 # the race detector (the sweep engine is explicitly designed and tested
@@ -101,10 +101,24 @@ race:
 # machine in a throttled state that inflates a ~30ns op by 30-50%,
 # which min-of-3 cannot undo when every sample sits inside the hot
 # window — measured as a uniform phantom regression on untouched code.
+#
+# Two further noise controls, extending the microbenches-first fix:
+# GOGC=off pins the collector for the nanosecond-scale legs (the guarded
+# paths allocate nothing, so GC only contributes pause noise — a
+# background cycle landing inside a 100000x sample reads as a phantom
+# ns/op regression), and a short idle sleep between legs lets a
+# thermally-saturated single-CPU machine step back down before the next
+# leg samples. The study legs keep normal GC: full simulations allocate
+# on cold paths by design, and benchmarking them with the heap growing
+# unboundedly would measure allocator pressure no real run has.
+BENCH_COOLDOWN ?= 5
 bench:
-	{ $(GO) test -bench='ObserveColdBlocks' -benchmem -benchtime=1000x -count=3 -run='^$$' ./internal/core && \
-	  $(GO) test -bench='Observe$$/|PredictReaders' -benchmem -benchtime=100000x -count=3 -run='^$$' ./internal/core && \
-	  $(GO) test -bench=. -benchmem -benchtime=100000x -count=3 -run='^$$' ./internal/sim ./internal/protocol && \
+	{ GOGC=off $(GO) test -bench='ObserveColdBlocks' -benchmem -benchtime=1000x -count=3 -run='^$$' ./internal/core && \
+	  sleep $(BENCH_COOLDOWN) && \
+	  GOGC=off $(GO) test -bench='Observe$$/|PredictReaders' -benchmem -benchtime=100000x -count=3 -run='^$$' ./internal/core && \
+	  sleep $(BENCH_COOLDOWN) && \
+	  GOGC=off $(GO) test -bench=. -benchmem -benchtime=100000x -count=3 -run='^$$' ./internal/sim ./internal/protocol && \
+	  sleep $(BENCH_COOLDOWN) && \
 	  $(GO) test -bench=. -benchmem -benchtime=3x -count=5 -run='^$$' . ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -113,6 +127,25 @@ benchsmoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # bench-check compares the two newest committed BENCH_PR<N>.json records
-# and fails on any allocs/op increase or a >15% ns/op regression.
+# and fails on any allocs/op increase or a >15% ns/op regression. Use
+# `go run ./cmd/benchcheck -base BENCH_PR<N>.json` to diff the newest
+# record against an arbitrary older baseline instead of the adjacent one.
 bench-check:
 	$(GO) run ./cmd/benchcheck
+
+# profile runs the full-scale reproduction under -cpuprofile/-memprofile
+# (single worker, so the profile samples the simulator rather than the
+# sweep fan-out), drops the artifacts under profiles/, and prints the
+# top-10 summaries of each — the before/after evidence perf PRs attach.
+# Artifacts are overwritten in place and gitignored; copy a "before"
+# profile aside prior to making changes.
+PROFILE_DIR ?= profiles
+profile:
+	@mkdir -p $(PROFILE_DIR)
+	$(GO) build -o $(PROFILE_DIR)/paperrepro ./cmd/paperrepro
+	$(PROFILE_DIR)/paperrepro -scale 1.0 -parallel 1 \
+		-cpuprofile $(PROFILE_DIR)/cpu.pprof -memprofile $(PROFILE_DIR)/mem.pprof >/dev/null
+	@echo "== CPU top-10 (flat) =="
+	@$(GO) tool pprof -top -nodecount=10 $(PROFILE_DIR)/paperrepro $(PROFILE_DIR)/cpu.pprof
+	@echo "== Heap top-10 (alloc_space) =="
+	@$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space $(PROFILE_DIR)/paperrepro $(PROFILE_DIR)/mem.pprof

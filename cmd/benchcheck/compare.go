@@ -29,6 +29,7 @@ type Report struct {
 type config struct {
 	dir          string
 	maxNsRegress float64
+	base         string   // explicit older baseline record (-base)
 	explicit     []string // two explicit files, bypassing discovery
 }
 
@@ -36,6 +37,8 @@ func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	cfg := config{}
 	fs.StringVar(&cfg.dir, "dir", ".", "directory holding BENCH_PR<N>.json records")
+	fs.StringVar(&cfg.base, "base", "",
+		"compare the newest record against this baseline instead of the second-newest (a path, or a bare BENCH_PR<N>.json name resolved in -dir)")
 	fs.Float64Var(&cfg.maxNsRegress, "max-ns-regress", 0.15,
 		"maximum tolerated fractional ns/op increase (0.15 = 15%)")
 	if err := fs.Parse(args); err != nil {
@@ -44,6 +47,9 @@ func parseFlags(args []string) (config, error) {
 	switch fs.NArg() {
 	case 0:
 	case 2:
+		if cfg.base != "" {
+			return cfg, fmt.Errorf("-base conflicts with two explicit positional files")
+		}
 		cfg.explicit = fs.Args()
 	default:
 		return cfg, fmt.Errorf("expected zero or two positional files, got %d", fs.NArg())
@@ -54,9 +60,11 @@ func parseFlags(args []string) (config, error) {
 var benchFileRe = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
 
 // pickFiles returns the (older, newer) records to compare. With explicit
-// files they are taken verbatim; otherwise the two highest-numbered
-// BENCH_PR<N>.json in cfg.dir are used. An empty older path means there
-// is nothing to compare.
+// files they are taken verbatim; otherwise the newest record is the
+// highest-numbered BENCH_PR<N>.json in cfg.dir and the baseline is the
+// second-newest — or, with -base, an arbitrary older record (the series
+// skips generations, so cross-PR comparisons need not be adjacent). An
+// empty older path means there is nothing to compare.
 func (cfg config) pickFiles() (oldPath, newPath string, err error) {
 	if len(cfg.explicit) == 2 {
 		return cfg.explicit[0], cfg.explicit[1], nil
@@ -78,10 +86,29 @@ func (cfg config) pickFiles() (oldPath, newPath string, err error) {
 		n, _ := strconv.Atoi(m[1])
 		recs = append(recs, rec{n: n, path: filepath.Join(cfg.dir, e.Name())})
 	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].n < recs[j].n })
+	if cfg.base != "" {
+		if len(recs) == 0 {
+			return "", "", fmt.Errorf("no BENCH_PR<N>.json records in %s to compare against -base", cfg.dir)
+		}
+		newPath = recs[len(recs)-1].path
+		oldPath = cfg.base
+		// A bare record name resolves inside -dir, so `-base BENCH_PR4.json
+		// -dir path` works without repeating the directory.
+		if filepath.Dir(oldPath) == "." && benchFileRe.MatchString(oldPath) {
+			oldPath = filepath.Join(cfg.dir, oldPath)
+		}
+		if _, err := os.Stat(oldPath); err != nil {
+			return "", "", fmt.Errorf("baseline %s: %w", cfg.base, err)
+		}
+		if oldPath == newPath {
+			return "", "", fmt.Errorf("baseline %s is the newest record itself", cfg.base)
+		}
+		return oldPath, newPath, nil
+	}
 	if len(recs) < 2 {
 		return "", "", nil
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].n < recs[j].n })
 	return recs[len(recs)-2].path, recs[len(recs)-1].path, nil
 }
 

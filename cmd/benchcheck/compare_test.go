@@ -137,6 +137,77 @@ func TestPickFilesSingleRecordMeansNothingToCompare(t *testing.T) {
 	}
 }
 
+func TestPickFilesBaseSelectsArbitraryBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR2.json", "BENCH_PR4.json", "BENCH_PR6.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A bare record name resolves inside -dir.
+	oldPath, newPath, err := config{dir: dir, base: "BENCH_PR2.json"}.pickFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(oldPath) != "BENCH_PR2.json" || filepath.Base(newPath) != "BENCH_PR6.json" {
+		t.Errorf("picked %s -> %s, want BENCH_PR2.json -> BENCH_PR6.json", oldPath, newPath)
+	}
+	// A full path is taken verbatim.
+	oldPath, _, err = config{dir: dir, base: filepath.Join(dir, "BENCH_PR4.json")}.pickFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(oldPath) != "BENCH_PR4.json" {
+		t.Errorf("explicit-path base picked %s, want BENCH_PR4.json", oldPath)
+	}
+}
+
+func TestPickFilesBaseErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := (config{dir: dir, base: "BENCH_PR1.json"}).pickFiles(); err == nil {
+		t.Error("no records at all: want error, got nil")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR5.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (config{dir: dir, base: "BENCH_PR3.json"}).pickFiles(); err == nil {
+		t.Error("missing baseline file: want error, got nil")
+	}
+	if _, _, err := (config{dir: dir, base: "BENCH_PR5.json"}).pickFiles(); err == nil {
+		t.Error("baseline == newest record: want error, got nil")
+	}
+}
+
+func TestRunEndToEndWithBase(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// PR1 -> PR4 regresses allocs; PR3 -> PR4 does not. The adjacent
+	// default compares PR3, -base reaches back to PR1.
+	writeJSON("BENCH_PR1.json",
+		`{"benchmarks":[{"name":"X","iterations":1,"metrics":{"ns/op":100,"allocs/op":2}}]}`)
+	writeJSON("BENCH_PR3.json",
+		`{"benchmarks":[{"name":"X","iterations":1,"metrics":{"ns/op":100,"allocs/op":5}}]}`)
+	writeJSON("BENCH_PR4.json",
+		`{"benchmarks":[{"name":"X","iterations":1,"metrics":{"ns/op":95,"allocs/op":5}}]}`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("adjacent run = %d, want 0; stdout: %s", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", dir, "-base", "BENCH_PR1.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("-base run = %d, want 1 (allocs regression vs PR1); stdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION line in -base output: %s", out.String())
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	writeJSON := func(name, body string) {

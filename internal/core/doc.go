@@ -22,7 +22,7 @@
 // Write-Invalidation premature bit, and the per-node early-write-invalidate
 // table.
 //
-// Two storage invariants keep Observe allocation-free in steady state
+// Three storage invariants keep Observe allocation-free in steady state
 // while leaving every observable result bit-identical to the original
 // string-keyed implementation (see the commentary on patKey in
 // twolevel.go for the full argument):
@@ -30,8 +30,20 @@
 //   - Pattern histories are packed into a fixed-size comparable patKey (a
 //     bijection of the symbol sequence), maintained incrementally per
 //     block, so table lookups never build heap keys.
-//   - All pattern entries of a predictor live in one entryStore slice;
-//     maps hold int32 indices, and handles (SWIGuard, ReadPrediction)
-//     carry a store generation so anything captured before a Reset
-//     degrades to a no-op instead of corrupting reused storage.
+//   - All pattern entries of a predictor live in one entryStore, laid out
+//     structure-of-arrays: parallel slices for the pattern key, the
+//     16-byte hot record (the packed prediction — tn holds Type|Node<<8,
+//     vec the reader vector, together a bijection of the Symbol it
+//     replaces, validity tn&0xff != 0 — plus the confidence/SWI meta
+//     byte), and the accuracy counters. The scoring loop reads only the
+//     hot array — it never drags the stats or key arrays into cache.
+//     Lookup goes through patTable, an open-addressed pattern-key index
+//     whose tagged probes reject mismatches on one byte and confirm on
+//     the key in entryStore.keys.
+//   - Entries and per-block records are addressed by stable int32 index
+//     (growth appends, Reset bumps a generation and truncates); handles
+//     (SWIGuard, ReadPrediction) carry the store generation so anything
+//     captured before a Reset degrades to a no-op instead of corrupting
+//     reused storage. Blocks reach their record through
+//     mem.BlockMap.Reserve, a single-probe get-or-insert.
 package core

@@ -150,13 +150,15 @@ type SWIGuard struct {
 func (g SWIGuard) live() bool { return g.store != nil && g.gen == g.store.gen }
 
 // Allowed reports whether SWI may fire for this pattern.
-func (g SWIGuard) Allowed() bool { return !g.live() || !g.store.at(g.idx).noSWI }
+func (g SWIGuard) Allowed() bool {
+	return !g.live() || g.store.hot[g.idx].meta&metaNoSWI == 0
+}
 
 // MarkPremature sets the premature bit, permanently suppressing SWI for
 // this pattern.
 func (g SWIGuard) MarkPremature() {
 	if g.live() {
-		g.store.at(g.idx).noSWI = true
+		g.store.hot[g.idx].meta |= metaNoSWI
 	}
 }
 
@@ -208,21 +210,22 @@ func (rp ReadPrediction) Prune(n mem.NodeID) {
 	if rp.store == nil || rp.gen != rp.store.gen {
 		return
 	}
+	s := rp.store
 	for i := int32(0); i < rp.n; i++ {
-		e := rp.store.at(rp.entryAt(i))
-		if !e.pred.Valid() {
+		idx := rp.entryAt(i)
+		tn := s.hot[idx].tn
+		if MsgType(tn&0xff) != MsgRead {
 			continue
 		}
-		if e.pred.Type != MsgRead {
-			continue
-		}
-		if e.pred.Vec != 0 {
-			e.pred.Vec = e.pred.Vec.Without(n)
-			if e.pred.Vec.Empty() {
-				e.pred = Symbol{}
+		if vec := mem.ReaderVec(s.hot[idx].vec); vec != 0 {
+			vec = vec.Without(n)
+			if vec.Empty() {
+				s.setPred(idx, Symbol{})
+			} else {
+				s.hot[idx].vec = uint64(vec)
 			}
-		} else if e.pred.Node == n {
-			e.pred = Symbol{}
+		} else if mem.NodeID(tn>>8) == n {
+			s.setPred(idx, Symbol{})
 		}
 	}
 }

@@ -1,0 +1,233 @@
+package core
+
+import "specdsm/internal/mem"
+
+// Structure-of-arrays pattern-entry storage.
+//
+// A pattern entry used to be a 40-byte struct (predicted Symbol, 2-bit
+// confidence, SWI premature bit, uses/hits instrumentation) behind a Go
+// map with 48-byte keys. The hot surfaces — Observe's score-and-learn,
+// PredictReaders, PredictNext — read only the predicted symbol and the
+// confidence bits, so the store splits each entry across parallel arrays
+// keyed by one int32 index:
+//
+//   - hot:  the predicted symbol (vec holds the reader vector, tn the
+//     packed (type, node) pair — a zero low byte means MsgInvalid, i.e.
+//     "no prediction") plus the meta byte (2-bit confidence counter and
+//     the SWI premature bit). 16 bytes — everything a score, predict, or
+//     confidence update touches, in one cache-line-friendly record.
+//   - keys: the (addr, packed history) identity of the entry, read only
+//     to confirm a probe match.
+//   - stats: uses/hits instrumentation (learning-speed analysis), off
+//     every predict path. It is write-hot on Observe but never read
+//     there, so keeping it out of keys preserves the probe path's
+//     read-only cache lines.
+//
+// The fast path therefore drags 16 hot bytes per entry through the cache
+// instead of the whole record. Indices are stable across growth
+// (append-only slices), which is what SWIGuard and ReadPrediction
+// handles rely on; gen counts Resets so stale handles degrade to no-ops.
+type entryStore struct {
+	keys  []patternKey
+	hot   []entryHot
+	stats []entryStats
+	gen   uint32
+}
+
+// entryHot packs the per-entry words every scoring/predict path reads.
+type entryHot struct {
+	vec  uint64
+	tn   uint16
+	meta uint8
+}
+
+// entryStats instruments per-entry reuse; nothing on a predict or score
+// path reads it, so it lives in its own cold array.
+type entryStats struct {
+	uses uint64
+	hits uint64
+}
+
+// meta byte layout: bits 0-1 hold the saturating confidence counter,
+// bit 2 the SWI premature ("noSWI") bit.
+const (
+	metaConfMask = 0b11
+	metaNoSWI    = 1 << 2
+)
+
+// confMax saturates the 2-bit confidence counter.
+const confMax = 3
+
+// alloc appends a new entry predicting sym for key and returns its index.
+func (s *entryStore) alloc(key patternKey, sym Symbol) int32 {
+	s.keys = append(s.keys, key)
+	s.hot = append(s.hot, entryHot{tn: sym.pack(), vec: uint64(sym.Vec)})
+	s.stats = append(s.stats, entryStats{})
+	return int32(len(s.keys) - 1)
+}
+
+// len returns the number of live entries.
+func (s *entryStore) len() int { return len(s.keys) }
+
+// pred reconstructs entry i's predicted symbol.
+func (s *entryStore) pred(i int32) Symbol {
+	h := &s.hot[i]
+	return Symbol{
+		Type: MsgType(h.tn & 0xff),
+		Node: mem.NodeID(h.tn >> 8),
+		Vec:  mem.ReaderVec(h.vec),
+	}
+}
+
+// setPred replaces entry i's predicted symbol.
+func (s *entryStore) setPred(i int32, sym Symbol) {
+	s.hot[i].tn = sym.pack()
+	s.hot[i].vec = uint64(sym.Vec)
+}
+
+// predValid reports whether entry i holds a real prediction (the packed
+// type byte is non-zero exactly when Type != MsgInvalid).
+func (s *entryStore) predValid(i int32) bool { return s.hot[i].tn&0xff != 0 }
+
+// conf returns entry i's confidence counter.
+func (s *entryStore) conf(i int32) uint8 { return s.hot[i].meta & metaConfMask }
+
+func (s *entryStore) confUp(i int32) {
+	if c := s.hot[i].meta & metaConfMask; c < confMax {
+		s.hot[i].meta++
+	}
+}
+
+func (s *entryStore) confDown(i int32) {
+	if s.hot[i].meta&metaConfMask > 0 {
+		s.hot[i].meta--
+	}
+}
+
+// reset clears all entries, retaining the array storage, and bumps the
+// generation so outstanding handles turn into no-ops.
+func (s *entryStore) reset() {
+	s.keys = s.keys[:0]
+	s.hot = s.hot[:0]
+	s.stats = s.stats[:0]
+	s.gen++
+}
+
+// patTable is the open-addressed (addr, history) → entry-index table that
+// replaced the predictor-wide Go map. Entry keys live in the store's keys
+// array; each occupied slot packs an 8-bit hash tag over the entry index
+// + 1 (0 meaning empty), so a probe walks a dense uint32 slot array,
+// rejects ~255/256 of colliding slots on the tag byte alone, and touches
+// one 48-byte key for the final confirm — no per-lookup hashing of the
+// key through the runtime map machinery, and almost never more than one
+// full-key comparison. The table is insert-only (patterns are never
+// unlearned; Prune only clears an entry's prediction in place), which is
+// what makes linear probing with clear-but-retain reset safe, mirroring
+// mem.BlockMap's discipline at the block level.
+type patTable struct {
+	slots []uint32
+	n     int
+	// vecKeys selects whether the hash mixes the per-slot reader-vector
+	// words. Only VMSP read-run symbols set them (see the patKey
+	// commentary); for Cosmos/MSP they are always zero, so hashing
+	// addr+tn alone is a complete discriminator at half the cost. The
+	// slot layout is internal to the table, so the hash choice cannot
+	// affect any observable result.
+	vecKeys bool
+}
+
+// Slot layout: bits 0-23 hold entry index + 1, bits 24-31 the hash tag.
+const (
+	patIdxMask  = 1<<24 - 1
+	patTagShift = 24
+)
+
+// patTableInitial is the slot count allocated on first insert, sized so a
+// typical per-node working set (see New's pre-sizing) never rehashes.
+const patTableInitial = 512
+
+// hash mixes the key's words into one well-spread value with
+// multiply-xorshift rounds (splitmix64's building block) rather than a
+// sum: histories differ in few bits — often one symbol slot.
+func (t *patTable) hash(pk *patternKey) uint64 {
+	h := uint64(pk.addr) ^ 0x9e3779b97f4a7c15
+	h = (h ^ pk.key.tn) * 0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	if t.vecKeys {
+		h = (h ^ pk.key.vec[0]) * 0x94d049bb133111eb
+		h ^= h >> 32
+		h = (h ^ pk.key.vec[1]) * 0xff51afd7ed558ccd
+		h ^= h >> 29
+		h = (h ^ pk.key.vec[2]) * 0xc4ceb9fe1a85ec53
+		h ^= h >> 32
+	}
+	h = (h ^ h>>31) * 0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	return h
+}
+
+// lookup returns the index of pk's entry in store, if present.
+func (t *patTable) lookup(store *entryStore, pk patternKey) (int32, bool) {
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	h := t.hash(&pk)
+	want := uint32(h>>56) << patTagShift
+	mask := uint64(len(t.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := t.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		if s&^uint32(patIdxMask) == want {
+			if idx := int32(s&patIdxMask) - 1; store.keys[idx] == pk {
+				return idx, true
+			}
+		}
+	}
+}
+
+// insert maps pk (already allocated in store at idx) into the table.
+// Callers must have checked pk is absent; duplicates would shadow.
+func (t *patTable) insert(store *entryStore, pk patternKey, idx int32) {
+	if idx >= patIdxMask {
+		panic("core: pattern table exceeds 2^24-1 entries")
+	}
+	if len(t.slots)*3 < (t.n+1)*4 { // grow beyond 3/4 load
+		t.grow(store)
+	}
+	h := t.hash(&pk)
+	mask := uint64(len(t.slots) - 1)
+	i := h & mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = uint32(h>>56)<<patTagShift | uint32(idx+1)
+	t.n++
+}
+
+// grow doubles the slot array (or allocates the initial one) and
+// reinserts every entry. Entry indices are values, so rehashing moves
+// nothing a handle can observe.
+func (t *patTable) grow(store *entryStore) {
+	newLen := patTableInitial
+	if len(t.slots) > 0 {
+		newLen = len(t.slots) * 2
+	}
+	t.slots = make([]uint32, newLen)
+	mask := uint64(newLen - 1)
+	for idx := range store.keys {
+		h := t.hash(&store.keys[idx])
+		i := h & mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = uint32(h>>56)<<patTagShift | uint32(idx+1)
+	}
+}
+
+// reset empties the table, retaining its slot storage.
+func (t *patTable) reset() {
+	clear(t.slots)
+	t.n = 0
+}

@@ -78,64 +78,14 @@ func (k *patKey) push(s Symbol, have, depth int) int {
 	return have + 1
 }
 
-// patternKey indexes the predictor-wide pattern table: per-block tables
-// are folded into one map so that Reset can reuse the bucket storage and
-// no per-block map ever needs allocating.
+// patternKey identifies one pattern-table entry: the block plus its
+// packed history. Entries live in the structure-of-arrays entryStore and
+// are indexed through the open-addressed patTable (see store.go); folding
+// every block's patterns into one predictor-wide table is what lets Reset
+// reuse all storage without per-block containers.
 type patternKey struct {
 	addr mem.BlockAddr
 	key  patKey
-}
-
-// entry is one pattern-table entry: the predicted successor of a specific
-// message-history sequence, plus the SWI premature bit (§4.1) for entries
-// whose prediction is a write or upgrade.
-type entry struct {
-	pred Symbol
-	// noSWI suppresses speculative write invalidation for this pattern
-	// after a premature invalidation has been observed.
-	noSWI bool
-	// conf is a 2-bit saturating confidence counter (an extension beyond
-	// the paper, off by default): incremented on a correct prediction,
-	// decremented on a wrong one. When a confidence threshold is
-	// configured, speculation surfaces only act on entries at or above it.
-	conf uint8
-	// uses/hits instrument per-entry reuse (learning-speed analysis).
-	uses uint64
-	hits uint64
-}
-
-// confMax saturates the 2-bit counter.
-const confMax = 3
-
-func (e *entry) confUp() {
-	if e.conf < confMax {
-		e.conf++
-	}
-}
-
-func (e *entry) confDown() {
-	if e.conf > 0 {
-		e.conf--
-	}
-}
-
-// entryStore backs all pattern entries of one predictor in a single
-// slice; the pattern map holds int32 indices into it. This removes the
-// per-entry heap allocation of the old map[string]*entry layout and gives
-// SWIGuard and ReadPrediction stable handles (indices survive slice
-// growth, unlike interior pointers). gen counts Resets so handles issued
-// before a Reset turn into no-ops instead of touching entries of the
-// reused table.
-type entryStore struct {
-	entries []entry
-	gen     uint32
-}
-
-func (s *entryStore) at(i int32) *entry { return &s.entries[i] }
-
-func (s *entryStore) alloc(pred Symbol) int32 {
-	s.entries = append(s.entries, entry{pred: pred})
-	return int32(len(s.entries) - 1)
 }
 
 // noEntry marks an empty entry reference (blockState.lastWrite).
@@ -166,12 +116,13 @@ type TwoLevel struct {
 	depth int
 	// blocks maps a block to its index in blockStates; both containers
 	// are retained (cleared, not reallocated) across Reset.
-	blocks      map[mem.BlockAddr]int32
+	blocks      mem.BlockMap
 	blockStates []blockState
-	// patterns is the single predictor-wide pattern table.
-	patterns map[patternKey]int32
-	store    *entryStore
-	stats    Stats
+	// table is the single predictor-wide pattern table over store's
+	// structure-of-arrays entries.
+	table patTable
+	store *entryStore
+	stats Stats
 	// maxChain bounds reader-chain expansion for non-vector predictors in
 	// PredictReaders.
 	maxChain int
@@ -194,14 +145,18 @@ func New(kind Kind, depth int) *TwoLevel {
 	// that cold-path table growth costs a handful of allocations instead
 	// of a full doubling chain per structure (sizing only; behaviour and
 	// contents are unchanged).
+	const presize = 256
 	return &TwoLevel{
 		kind:        kind,
 		depth:       depth,
-		blocks:      make(map[mem.BlockAddr]int32, 128),
 		blockStates: make([]blockState, 0, 128),
-		patterns:    make(map[patternKey]int32, 256),
-		store:       &entryStore{entries: make([]entry, 0, 256)},
-		maxChain:    mem.MaxNodes,
+		table:       patTable{vecKeys: kind == KindVMSP},
+		store: &entryStore{
+			keys:  make([]patternKey, 0, presize),
+			hot:   make([]entryHot, 0, presize),
+			stats: make([]entryStats, 0, presize),
+		},
+		maxChain: mem.MaxNodes,
 	}
 }
 
@@ -228,9 +183,9 @@ func (p *TwoLevel) SetConfidenceThreshold(n int) {
 	}
 }
 
-// confident reports whether the entry may drive speculation.
-func (p *TwoLevel) confident(e *entry) bool {
-	return e.conf >= p.confThreshold
+// confident reports whether entry idx may drive speculation.
+func (p *TwoLevel) confident(idx int32) bool {
+	return p.store.conf(idx) >= p.confThreshold
 }
 
 // Name implements Predictor.
@@ -252,11 +207,10 @@ func (p *TwoLevel) Stats() Stats { return p.stats }
 // methods become no-ops (a generation check keeps them from touching the
 // reused tables).
 func (p *TwoLevel) Reset() {
-	clear(p.blocks)
+	p.blocks.Reset()
 	p.blockStates = p.blockStates[:0]
-	clear(p.patterns)
-	p.store.entries = p.store.entries[:0]
-	p.store.gen++
+	p.table.reset()
+	p.store.reset()
 	p.stats = Stats{}
 }
 
@@ -276,18 +230,16 @@ func (p *TwoLevel) tracks(t MsgType) bool {
 // block returns the state for addr, allocating it on first touch. The
 // returned pointer is valid until the next block call (slice growth).
 func (p *TwoLevel) block(addr mem.BlockAddr) *blockState {
-	idx, ok := p.blocks[addr]
-	if !ok {
-		idx = int32(len(p.blockStates))
+	idx, created := p.blocks.Reserve(addr, int32(len(p.blockStates)))
+	if created {
 		p.blockStates = append(p.blockStates, blockState{lastWrite: noEntry})
-		p.blocks[addr] = idx
 	}
 	return &p.blockStates[idx]
 }
 
 // lookup returns the state for addr without allocating.
 func (p *TwoLevel) lookup(addr mem.BlockAddr) *blockState {
-	idx, ok := p.blocks[addr]
+	idx, ok := p.blocks.Get(addr)
 	if !ok {
 		return nil
 	}
@@ -320,17 +272,21 @@ func (p *TwoLevel) Observe(addr mem.BlockAddr, obs Observation) Outcome {
 func (p *TwoLevel) observeVMSP(addr mem.BlockAddr, bs *blockState, obs Observation) Outcome {
 	if obs.Type == MsgRead {
 		out := Outcome{Tracked: true}
-		if idx, ok := p.patterns[patternKey{addr, bs.key}]; ok {
-			e := p.store.at(idx)
-			if e.pred.Valid() {
+		if idx, ok := p.table.lookup(p.store, patternKey{addr, bs.key}); ok {
+			s := p.store
+			if s.predValid(idx) {
 				out.Predicted = true
-				e.uses++
-				if e.pred.Type == MsgRead && e.pred.Vec.Has(obs.Node) && !bs.open.Has(obs.Node) {
+				s.stats[idx].uses++
+				h := &s.hot[idx]
+				// tn&0xff == MsgRead with Node 0 is how a vector symbol
+				// packs, but membership is what scores a VMSP read.
+				if MsgType(h.tn&0xff) == MsgRead &&
+					mem.ReaderVec(h.vec).Has(obs.Node) && !bs.open.Has(obs.Node) {
 					out.Correct = true
-					e.hits++
-					e.confUp()
+					s.stats[idx].hits++
+					s.confUp(idx)
 				} else {
-					e.confDown()
+					s.confDown(idx)
 				}
 			}
 		}
@@ -358,24 +314,26 @@ func (p *TwoLevel) observeVMSP(addr mem.BlockAddr, bs *blockState, obs Observati
 func (p *TwoLevel) scoreAndLearn(addr mem.BlockAddr, bs *blockState, sym Symbol) Outcome {
 	out := Outcome{Tracked: true}
 	pk := patternKey{addr, bs.key}
-	idx, ok := p.patterns[pk]
+	idx, ok := p.table.lookup(p.store, pk)
 	if ok {
-		e := p.store.at(idx)
-		if e.pred.Valid() {
+		s := p.store
+		if s.predValid(idx) {
 			out.Predicted = true
-			e.uses++
-			if e.pred.Equal(sym) {
+			s.stats[idx].uses++
+			// Packed equality: (type, node) word and vector word match ⟺
+			// Symbol.Equal, since pack() is a bijection.
+			if h := &s.hot[idx]; h.tn == sym.pack() && h.vec == uint64(sym.Vec) {
 				out.Correct = true
-				e.hits++
-				e.confUp()
+				s.stats[idx].hits++
+				s.confUp(idx)
 			} else {
-				e.confDown()
+				s.confDown(idx)
 			}
 		}
-		e.pred = sym
+		s.setPred(idx, sym)
 	} else {
-		idx = p.store.alloc(sym)
-		p.patterns[pk] = idx
+		idx = p.store.alloc(pk, sym)
+		p.table.insert(p.store, pk, idx)
 	}
 	if sym.Type.IsWriteLike() {
 		bs.lastWrite = idx
@@ -388,10 +346,10 @@ func (p *TwoLevel) scoreAndLearn(addr mem.BlockAddr, bs *blockState, sym Symbol)
 // scoring (used when closing VMSP read runs).
 func (p *TwoLevel) learn(addr mem.BlockAddr, bs *blockState, sym Symbol) {
 	pk := patternKey{addr, bs.key}
-	if idx, ok := p.patterns[pk]; ok {
-		p.store.at(idx).pred = sym
+	if idx, ok := p.table.lookup(p.store, pk); ok {
+		p.store.setPred(idx, sym)
 	} else {
-		p.patterns[pk] = p.store.alloc(sym)
+		p.table.insert(p.store, pk, p.store.alloc(pk, sym))
 	}
 	bs.push(sym, p.depth)
 }
@@ -403,15 +361,14 @@ func (p *TwoLevel) PredictNext(addr mem.BlockAddr) (Symbol, bool) {
 	if bs == nil {
 		return Symbol{}, false
 	}
-	idx, ok := p.patterns[patternKey{addr, bs.key}]
+	idx, ok := p.table.lookup(p.store, patternKey{addr, bs.key})
 	if !ok {
 		return Symbol{}, false
 	}
-	e := p.store.at(idx)
-	if !e.pred.Valid() || !p.confident(e) {
+	if !p.store.predValid(idx) || !p.confident(idx) {
 		return Symbol{}, false
 	}
-	return e.pred, true
+	return p.store.pred(idx), true
 }
 
 // PredictReaders implements Predictor.
@@ -429,15 +386,16 @@ func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
 		return ReadPrediction{}, false
 	}
 	if p.kind == KindVMSP {
-		idx, ok := p.patterns[patternKey{addr, bs.key}]
+		idx, ok := p.table.lookup(p.store, patternKey{addr, bs.key})
 		if !ok {
 			return ReadPrediction{}, false
 		}
-		e := p.store.at(idx)
-		if e.pred.Type != MsgRead || e.pred.Vec.Empty() || !p.confident(e) {
+		s := p.store
+		vec := mem.ReaderVec(s.hot[idx].vec)
+		if MsgType(s.hot[idx].tn&0xff) != MsgRead || vec.Empty() || !p.confident(idx) {
 			return ReadPrediction{}, false
 		}
-		rp := ReadPrediction{Readers: e.pred.Vec, store: p.store, gen: p.store.gen}
+		rp := ReadPrediction{Readers: vec, store: s, gen: s.gen}
 		rp.addEntry(idx)
 		return rp, true
 	}
@@ -448,20 +406,20 @@ func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
 	n := int(bs.n)
 	rp := ReadPrediction{store: p.store, gen: p.store.gen}
 	for i := 0; i < p.maxChain; i++ {
-		idx, ok := p.patterns[patternKey{addr, key}]
+		idx, ok := p.table.lookup(p.store, patternKey{addr, key})
 		if !ok {
 			break
 		}
-		e := p.store.at(idx)
-		if e.pred.Type != MsgRead || !e.pred.Valid() || !p.confident(e) {
+		pred := p.store.pred(idx)
+		if pred.Type != MsgRead || !pred.Valid() || !p.confident(idx) {
 			break
 		}
-		if rp.Readers.Has(e.pred.Node) {
+		if rp.Readers.Has(pred.Node) {
 			break
 		}
-		rp.Readers = rp.Readers.With(e.pred.Node)
+		rp.Readers = rp.Readers.With(pred.Node)
 		rp.addEntry(idx)
-		n = key.push(e.pred, n, p.depth)
+		n = key.push(pred, n, p.depth)
 	}
 	if rp.Readers.Empty() {
 		return ReadPrediction{}, false
@@ -483,15 +441,15 @@ func (p *TwoLevel) PredictsUpgradeBy(addr mem.BlockAddr, reader mem.NodeID) bool
 	if p.kind == KindVMSP {
 		key.push(Symbol{Type: MsgRead, Vec: bs.open.With(reader)}, int(bs.n), p.depth)
 	}
-	idx, ok := p.patterns[patternKey{addr, key}]
+	idx, ok := p.table.lookup(p.store, patternKey{addr, key})
 	if !ok {
 		return false
 	}
-	e := p.store.at(idx)
-	if !e.pred.Valid() || !p.confident(e) {
+	if !p.store.predValid(idx) || !p.confident(idx) {
 		return false
 	}
-	return e.pred.Type.IsWriteLike() && e.pred.Node == reader
+	tn := p.store.hot[idx].tn
+	return MsgType(tn&0xff).IsWriteLike() && mem.NodeID(tn>>8) == reader
 }
 
 // SWIAllowed implements Predictor.
@@ -543,8 +501,8 @@ func (p *TwoLevel) RetractReader(addr mem.BlockAddr, n mem.NodeID) {
 func (p *TwoLevel) Census() Census {
 	return Census{
 		HistoryDepth: p.depth,
-		Blocks:       len(p.blocks),
-		Entries:      len(p.patterns),
+		Blocks:       p.blocks.Len(),
+		Entries:      p.store.len(),
 	}
 }
 

@@ -94,6 +94,33 @@ func (m *BlockMap) Put(addr BlockAddr, idx int32) {
 	}
 }
 
+// Reserve maps addr to next if absent, in one probe sequence. It returns
+// the index now mapped to addr and whether this call created the mapping
+// (created == false means addr was already present and idx is its
+// existing mapping; next is ignored). It replaces the Get-miss-then-Put
+// pattern on first-touch paths, which would otherwise walk the same
+// probe chain twice per new block.
+func (m *BlockMap) Reserve(addr BlockAddr, next int32) (idx int32, created bool) {
+	if next < 0 {
+		panic("mem: BlockMap index must be non-negative")
+	}
+	if len(m.slots)*3 < (m.n+1)*4 { // grow beyond 3/4 load
+		m.grow()
+	}
+	mask := uint64(len(m.slots) - 1)
+	for i := hashAddr(addr) & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.idx == blockMapEmpty {
+			s.addr, s.idx = addr, next
+			m.n++
+			return next, true
+		}
+		if s.addr == addr {
+			return s.idx, false
+		}
+	}
+}
+
 // grow doubles the slot array (or allocates the initial one) and
 // rehashes every occupied slot. Indices are values, so rehashing moves
 // nothing the caller can observe.

@@ -138,6 +138,76 @@ func TestBlockMapGetZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestBlockMapReserveAgainstReferenceMap drives Reserve and a plain Go
+// map with the same first-touch sequence (including repeats) and requires
+// identical answers: the first Reserve of an addr creates the mapping,
+// every later one returns it untouched.
+func TestBlockMapReserveAgainstReferenceMap(t *testing.T) {
+	var bm BlockMap
+	ref := map[BlockAddr]int32{}
+	next := int32(0)
+	addrs := randAddrs(3000)
+	// Visit each address twice, interleaved, so half the Reserve calls hit.
+	seq := append(append([]BlockAddr{}, addrs...), addrs...)
+	for _, addr := range seq {
+		idx, created := bm.Reserve(addr, next)
+		want, present := ref[addr]
+		if created == present {
+			t.Fatalf("Reserve(%v) created=%v but reference present=%v", addr, created, present)
+		}
+		if created {
+			if idx != next {
+				t.Fatalf("Reserve(%v) created with idx %d, want %d", addr, idx, next)
+			}
+			ref[addr] = next
+			next++
+		} else if idx != want {
+			t.Fatalf("Reserve(%v) = %d, want existing %d", addr, idx, want)
+		}
+	}
+	if bm.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", bm.Len(), len(ref))
+	}
+	for addr, want := range ref {
+		if got, ok := bm.Get(addr); !ok || got != want {
+			t.Fatalf("Get(%v) = %d,%v after Reserve, want %d,true", addr, got, ok, want)
+		}
+	}
+}
+
+// TestBlockMapReserveHitZeroAllocs guards the steady-state Reserve path:
+// once the working set is mapped, re-reserving it allocates nothing.
+func TestBlockMapReserveHitZeroAllocs(t *testing.T) {
+	var bm BlockMap
+	addrs := randAddrs(64)
+	next := int32(0)
+	for _, addr := range addrs {
+		if _, created := bm.Reserve(addr, next); created {
+			next++
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, addr := range addrs {
+			if _, created := bm.Reserve(addr, next); created {
+				t.Fatal("steady-state Reserve created a mapping")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Reserve hit allocates %.2f/run, want 0", avg)
+	}
+}
+
+func TestBlockMapReservePanicsOnNegativeIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative index Reserve did not panic")
+		}
+	}()
+	var bm BlockMap
+	bm.Reserve(MakeAddr(1, 2), -1)
+}
+
 func TestBlockMapPutPanicsOnDuplicate(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -15,45 +15,51 @@ const (
 	lineExclusive
 )
 
-// line is one cached block: the merged processor-cache/remote-cache model.
-// spec marks a speculatively placed copy; referenced is the verification
-// bit of §4.2 (set on first processor reference); written tracks whether
-// the processor stored to the line since fill (used by the speculative
-// upgrade extension's verification); lastUse orders LRU eviction in
-// finite-cache mode.
-//
-// A line also carries the block's transient per-cache state that used to
-// live in separate maps keyed by the same address: the single outstanding
-// miss (hasPend/pend, the old pend map) and the in-flight voluntary
-// eviction writeback marker (evictPending, the old evictPending map).
-// Lines live inline in the cache's dense lines slice, indexed through a
-// mem.BlockMap; addr is kept in the line so eviction scans and audits can
-// walk the slice directly. "Deleting" transient state is clearing a flag,
-// so the insert-only table suffices and steady state allocates nothing.
-type line struct {
-	addr       mem.BlockAddr
-	state      lineState
-	version    uint64
-	spec       bool
-	referenced bool
-	written    bool
-	lastUse    uint64
-	// hasPend/pend is the single outstanding miss of the in-order
-	// processor for this block.
-	hasPend bool
-	pend    pendingAccess
-	// evictPending marks an exclusive line whose voluntary writeback is
-	// in flight; a recall crossing it is ignored (the writeback doubles
-	// as the recall response). Cleared on the next fill of the block.
-	evictPending bool
+// Cache-line state is split structure-of-arrays across two parallel
+// slices sharing one stable index (see cache.hot/cold): lineHot is the
+// 24-byte record a hit reads — state, the flags byte, the granted
+// version, and the LRU stamp — while lineCold carries the block address
+// and the outstanding-miss record (the old pend map), which only misses,
+// evictions, and audits touch. The hit path, the most frequent operation
+// in the whole simulator, dispatches entirely out of lineHot.
+type lineHot struct {
+	version uint64
+	lastUse uint64
+	state   lineState
+	flags   uint8
+}
+
+// lineHot.flags bits. spec marks a speculatively placed copy; referenced
+// is the verification bit of §4.2 (set on first processor reference);
+// written tracks whether the processor stored to the line since fill
+// (used by the speculative upgrade extension's verification); hasPend
+// mirrors "cold.pend holds the single outstanding miss"; evictPending
+// marks an exclusive line whose voluntary writeback is in flight — a
+// recall crossing it is ignored (the writeback doubles as the recall
+// response), and the flag clears on the next fill of the block.
+const (
+	lfSpec uint8 = 1 << iota
+	lfReferenced
+	lfWritten
+	lfHasPend
+	lfEvictPending
+)
+
+// lineCold is the cold half of one cache line; addr is kept here so
+// eviction scans and audits can walk the slice directly.
+type lineCold struct {
+	addr mem.BlockAddr
+	// pend is the single outstanding miss of the in-order processor for
+	// this block (guarded by lfHasPend).
+	pend pendingAccess
 }
 
 // pendingAccess is the single outstanding miss of the in-order processor.
 // invalOnFill implements the standard MSHR rule for an invalidation that
 // arrives while the fill is in flight: the data is used exactly once to
 // complete the access (the read is ordered before the conflicting write)
-// and the line is then dropped. Stored by value inside the line so a miss
-// allocates nothing.
+// and the line is then dropped. Stored by value inside the cold record so
+// a miss allocates nothing.
 type pendingAccess struct {
 	isWrite     bool
 	start       sim.Cycle
@@ -80,12 +86,14 @@ func (ev *doneEvent) fire() {
 }
 
 // cache is the processor-side controller of one node. Per-block state
-// lives inline in the dense lines slice; table maps a block to its stable
-// index (lines are created on first touch and never removed).
+// lives inline in the parallel hot/cold slices; table maps a block to its
+// stable index (lines are created on first touch and never removed, so
+// hot[i]/cold[i] are two halves of the same line forever).
 type cache struct {
 	n        *Node
 	table    mem.BlockMap
-	lines    []line
+	hot      []lineHot
+	cold     []lineCold
 	stats    CacheStats
 	donePool sim.FreeList[doneEvent]
 	// pendCount tracks outstanding misses (quiescence checking).
@@ -96,44 +104,48 @@ type cache struct {
 }
 
 func newCache(n *Node) *cache {
-	return &cache{n: n}
+	// Pre-sizing the parallel slices turns the first-touch doubling chain
+	// (one reallocation per power of two) into a single allocation per
+	// array; a node's referenced-line working set typically fits.
+	return &cache{
+		n:    n,
+		hot:  make([]lineHot, 0, 128),
+		cold: make([]lineCold, 0, 128),
+	}
 }
 
 // reset re-arms the cache for a fresh run: the block table and dense
-// lines slice are cleared but their storage is retained (zeroing the
+// hot/cold slices are cleared but their storage is retained (zeroing the
 // vacated elements so stale completion closures are not pinned), and the
 // counters return to zero. The done-event pool is kept. A reset cache is
 // observably equivalent to a freshly constructed one: line indices are
 // re-assigned by first touch, which the workload determines.
 func (c *cache) reset() {
 	c.table.Reset()
-	clear(c.lines)
-	c.lines = c.lines[:0]
+	clear(c.hot)
+	c.hot = c.hot[:0]
+	clear(c.cold)
+	c.cold = c.cold[:0]
 	c.stats = CacheStats{}
 	c.pendCount = 0
 	c.valid = 0
 	c.useClock = 0
 }
 
-// line returns addr's line, creating it (invalid) on first touch. The
-// pointer is only valid until the next line creation (slice growth); it
-// must not be held across scheduled events.
-func (c *cache) line(addr mem.BlockAddr) *line {
-	if li, ok := c.table.Get(addr); ok {
-		return &c.lines[li]
+// lineIdx returns the stable index of addr's line, creating it (invalid)
+// on first touch.
+func (c *cache) lineIdx(addr mem.BlockAddr) int32 {
+	li, created := c.table.Reserve(addr, int32(len(c.hot)))
+	if created {
+		c.hot = append(c.hot, lineHot{})
+		c.cold = append(c.cold, lineCold{addr: addr})
 	}
-	li := int32(len(c.lines))
-	c.lines = append(c.lines, line{addr: addr})
-	c.table.Put(addr, li)
-	return &c.lines[li]
+	return li
 }
 
-// lookup returns addr's line without creating it, or nil.
-func (c *cache) lookup(addr mem.BlockAddr) *line {
-	if li, ok := c.table.Get(addr); ok {
-		return &c.lines[li]
-	}
-	return nil
+// lookupIdx returns the stable index of addr's line without creating it.
+func (c *cache) lookupIdx(addr mem.BlockAddr) (int32, bool) {
+	return c.table.Get(addr)
 }
 
 // doneAfter schedules done(out) after delay cycles via the pooled event.
@@ -148,69 +160,78 @@ func (c *cache) doneAfter(delay sim.Cycle, done func(AccessOutcome), out AccessO
 }
 
 // touch stamps the line for LRU.
-func (c *cache) touch(l *line) {
+func (c *cache) touch(h *lineHot) {
 	c.useClock++
-	l.lastUse = c.useClock
+	h.lastUse = c.useClock
 }
 
-// install accounts a line transitioning invalid -> valid, evicting first
+// install accounts line li transitioning invalid -> valid, evicting first
 // if the capacity bound requires it. Re-acquiring a block also retires
 // any eviction-writeback flag: a recall crossing that writeback must have
 // arrived before the new grant (per-pair FIFO), so a recall seen after
 // this point is a fresh one.
-func (c *cache) install(l *line) {
-	l.evictPending = false
+func (c *cache) install(li int32) {
+	c.hot[li].flags &^= lfEvictPending
 	cap := c.n.opts.CacheCapacity
-	if cap > 0 && l.state == lineInvalid {
+	if cap > 0 && c.hot[li].state == lineInvalid {
 		for c.valid >= cap {
-			if !c.evictOne(l.addr) {
+			if !c.evictOne(c.cold[li].addr) {
 				break // nothing evictable; exceed rather than deadlock
 			}
 		}
 	}
-	if l.state == lineInvalid {
+	if c.hot[li].state == lineInvalid {
 		c.valid++
 	}
 }
 
-// drop accounts a line transitioning valid -> invalid.
-func (c *cache) drop(l *line) {
-	if l.state != lineInvalid {
+// drop accounts line li transitioning valid -> invalid.
+func (c *cache) drop(li int32) {
+	h := &c.hot[li]
+	if h.state != lineInvalid {
 		c.valid--
 	}
-	l.state = lineInvalid
-	l.spec = false
-	l.written = false
+	h.state = lineInvalid
+	h.flags &^= lfSpec | lfWritten
 }
 
 // evictOne removes the least-recently-used valid line other than keep.
 // Shared victims drop silently (the directory's sharer list tolerates
 // over-approximation); exclusive victims write back voluntarily. The
-// linear scan over the dense slice picks the minimum (lastUse, addr)
-// pair, so the victim is deterministic.
+// linear scan over the dense hot slice picks the minimum (lastUse, addr)
+// pair, so the victim is deterministic; only valid candidates touch the
+// cold array for their address.
 func (c *cache) evictOne(keep mem.BlockAddr) bool {
-	var victim *line
-	for i := range c.lines {
-		l := &c.lines[i]
-		if l.state == lineInvalid || l.addr == keep {
+	victim := int32(-1)
+	var victimAddr mem.BlockAddr
+	for i := range c.hot {
+		h := &c.hot[i]
+		if h.state == lineInvalid {
 			continue
 		}
-		if victim == nil || l.lastUse < victim.lastUse || (l.lastUse == victim.lastUse && l.addr < victim.addr) {
-			victim = l
+		addr := c.cold[i].addr
+		if addr == keep {
+			continue
+		}
+		if victim < 0 || h.lastUse < c.hot[victim].lastUse ||
+			(h.lastUse == c.hot[victim].lastUse && addr < victimAddr) {
+			victim = int32(i)
+			victimAddr = addr
 		}
 	}
-	if victim == nil {
+	if victim < 0 {
 		return false
 	}
 	c.stats.Evictions++
-	if victim.state == lineExclusive {
+	vh := &c.hot[victim]
+	if vh.state == lineExclusive {
 		c.stats.EvictionWritebacks++
-		victim.evictPending = true
-		c.n.sys.routeAfter(c.n.sys.timing.CacheAccess, c.n.id, victim.addr.Home(), Msg{
+		vh.flags |= lfEvictPending
+		c.n.sys.routeAfter(c.n.sys.timing.CacheAccess, c.n.id, victimAddr.Home(), Msg{
 			Kind:      MsgWriteback,
-			Addr:      victim.addr,
-			Version:   victim.version,
-			Written:   victim.written,
+			Addr:      victimAddr,
+			Version:   vh.version,
+			Written:   vh.flags&lfWritten != 0,
 			Voluntary: true,
 		})
 	}
@@ -224,26 +245,29 @@ func (c *cache) evictOne(keep mem.BlockAddr) bool {
 func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome)) {
 	t := c.n.sys.timing
 	k := c.n.sys.kernel
-	l := c.lookup(addr)
+	li, found := c.lookupIdx(addr)
 
-	// Hit: load on S/E, store on E.
-	if l != nil && l.state != lineInvalid && (!isWrite || l.state == lineExclusive) {
-		c.touch(l)
-		class := ClassHit
-		if l.spec && !l.referenced {
-			l.referenced = true
-			c.stats.SpecReferenced++
-			class = ClassSpecHit
-			c.stats.SpecHits++
-		} else {
-			c.stats.Hits++
+	// Hit: load on S/E, store on E — served entirely out of the hot array.
+	if found {
+		h := &c.hot[li]
+		if h.state != lineInvalid && (!isWrite || h.state == lineExclusive) {
+			c.touch(h)
+			class := ClassHit
+			if h.flags&(lfSpec|lfReferenced) == lfSpec {
+				h.flags |= lfReferenced
+				c.stats.SpecReferenced++
+				class = ClassSpecHit
+				c.stats.SpecHits++
+			} else {
+				c.stats.Hits++
+			}
+			if isWrite {
+				h.flags |= lfWritten
+			}
+			c.n.sys.checkObserved(c.n.id, addr, h.version)
+			c.doneAfter(t.HitLatency, done, AccessOutcome{Class: class, Latency: t.HitLatency})
+			return
 		}
-		if isWrite {
-			l.written = true
-		}
-		c.n.sys.checkObserved(c.n.id, addr, l.version)
-		c.doneAfter(t.HitLatency, done, AccessOutcome{Class: class, Latency: t.HitLatency})
-		return
 	}
 
 	home := addr.Home()
@@ -253,17 +277,17 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 	// produces no coherence message (so it is invisible to predictors).
 	if home == c.n.id {
 		if version, ok := c.n.dir.tryLocalFastPath(addr, isWrite); ok {
-			nl := c.line(addr)
-			c.install(nl)
-			nl.state = lineShared
+			nli := c.lineIdx(addr)
+			c.install(nli)
+			h := &c.hot[nli]
+			h.state = lineShared
+			h.flags &^= lfSpec | lfReferenced | lfWritten
 			if isWrite {
-				nl.state = lineExclusive
+				h.state = lineExclusive
+				h.flags |= lfWritten
 			}
-			nl.version = version
-			nl.spec = false
-			nl.referenced = false
-			nl.written = isWrite
-			c.touch(nl)
+			h.version = version
+			c.touch(h)
 			c.stats.LocalAccesses++
 			c.n.sys.checkObserved(c.n.id, addr, version)
 			c.doneAfter(t.LocalMem, done, AccessOutcome{Class: ClassLocal, Latency: t.LocalMem})
@@ -271,15 +295,16 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 		}
 	}
 
-	// Coherence transaction required. (c.line may have just created the
-	// entry, so re-derive the state from it rather than from l.)
-	nl := c.line(addr)
-	if nl.hasPend {
+	// Coherence transaction required. (lineIdx may have just created the
+	// line, so re-derive the state from it rather than from li.)
+	nli := c.lineIdx(addr)
+	h := &c.hot[nli]
+	if h.flags&lfHasPend != 0 {
 		panic(fmt.Sprintf("protocol: node %d duplicate outstanding access to %v", c.n.id, addr))
 	}
 	kind := mem.ReqRead
 	if isWrite {
-		if nl.state == lineShared {
+		if h.state == lineShared {
 			kind = mem.ReqUpgrade
 		} else {
 			kind = mem.ReqWrite
@@ -290,8 +315,8 @@ func (c *cache) Access(isWrite bool, addr mem.BlockAddr, done func(AccessOutcome
 	} else {
 		c.stats.ProtocolReads++
 	}
-	nl.hasPend = true
-	nl.pend = pendingAccess{isWrite: isWrite, start: k.Now(), done: done}
+	h.flags |= lfHasPend
+	c.cold[nli].pend = pendingAccess{isWrite: isWrite, start: k.Now(), done: done}
 	c.pendCount++
 	c.n.sys.routeAfter(t.BusOverhead, c.n.id, home, Msg{Kind: MsgReq, Req: kind, Addr: addr})
 	if isWrite && c.n.opts.EnableSWI && c.n.opts.Active != nil {
@@ -319,33 +344,33 @@ func (c *cache) deliver(src mem.NodeID, m Msg) {
 	}
 }
 
-// clearPend retires l's outstanding miss and returns it. The stored copy
-// is zeroed so the completion closure is not pinned past the access.
-func (c *cache) clearPend(l *line) pendingAccess {
-	p := l.pend
-	l.hasPend = false
-	l.pend = pendingAccess{}
+// clearPend retires line li's outstanding miss and returns it. The stored
+// copy is zeroed so the completion closure is not pinned past the access.
+func (c *cache) clearPend(li int32) pendingAccess {
+	p := c.cold[li].pend
+	c.hot[li].flags &^= lfHasPend
+	c.cold[li].pend = pendingAccess{}
 	c.pendCount--
 	return p
 }
 
 func (c *cache) handleInval(m Msg) {
 	t := c.n.sys.timing
-	l := c.lookup(m.Addr)
+	li, found := c.lookupIdx(m.Addr)
 	c.stats.InvalsReceived++
 	specUnused := false
 	switch {
-	case l != nil && l.state == lineShared:
-		specUnused = l.spec && !l.referenced
-		c.drop(l)
-	case l != nil && l.state == lineExclusive:
+	case found && c.hot[li].state == lineShared:
+		specUnused = c.hot[li].flags&(lfSpec|lfReferenced) == lfSpec
+		c.drop(li)
+	case found && c.hot[li].state == lineExclusive:
 		panic(fmt.Sprintf("protocol: inval for exclusive line %v at node %d", m.Addr, c.n.id))
 	default:
 		// No valid copy: either a speculative copy we dropped, or the fill
 		// for our outstanding read is still in flight. In the latter case
 		// the data will be used once and discarded.
-		if l != nil && l.hasPend && !l.pend.isWrite {
-			l.pend.invalOnFill = true
+		if found && c.hot[li].flags&lfHasPend != 0 && !c.cold[li].pend.isWrite {
+			c.cold[li].pend.invalOnFill = true
 		}
 	}
 	c.n.sys.routeAfter(t.CacheAccess, c.n.id, m.Addr.Home(),
@@ -353,41 +378,44 @@ func (c *cache) handleInval(m Msg) {
 }
 
 func (c *cache) handleRecall(m Msg) {
-	l := c.lookup(m.Addr)
+	li, found := c.lookupIdx(m.Addr)
 	// A recall that crossed our voluntary eviction writeback is already
 	// answered by that writeback (finite-cache mode).
-	if l != nil && l.evictPending {
-		l.evictPending = false
+	if found && c.hot[li].flags&lfEvictPending != 0 {
+		c.hot[li].flags &^= lfEvictPending
 		return
 	}
 	t := c.n.sys.timing
-	if l == nil || l.state != lineExclusive {
+	if !found || c.hot[li].state != lineExclusive {
 		panic(fmt.Sprintf("protocol: recall for non-exclusive line %v at node %d", m.Addr, c.n.id))
 	}
 	c.stats.RecallsReceived++
-	wb := Msg{Kind: MsgWriteback, Addr: m.Addr, Version: l.version, SWI: m.SWI, Written: l.written}
-	c.drop(l)
+	h := &c.hot[li]
+	wb := Msg{Kind: MsgWriteback, Addr: m.Addr, Version: h.version, SWI: m.SWI, Written: h.flags&lfWritten != 0}
+	c.drop(li)
 	c.n.sys.routeAfter(t.CacheAccess, c.n.id, m.Addr.Home(), wb)
 }
 
 func (c *cache) handleData(m Msg) {
 	t := c.n.sys.timing
-	l := c.lookup(m.Addr)
-	if l == nil || !l.hasPend {
+	li, found := c.lookupIdx(m.Addr)
+	if !found || c.hot[li].flags&lfHasPend == 0 {
 		panic(fmt.Sprintf("protocol: unsolicited data for %v at node %d", m.Addr, c.n.id))
 	}
-	p := c.clearPend(l)
-	c.install(l)
-	l.version = m.Version
-	l.spec = false
-	l.referenced = false
-	l.written = p.isWrite
-	if m.Excl {
-		l.state = lineExclusive
-	} else {
-		l.state = lineShared
+	p := c.clearPend(li)
+	c.install(li)
+	h := &c.hot[li]
+	h.version = m.Version
+	h.flags &^= lfSpec | lfReferenced | lfWritten
+	if p.isWrite {
+		h.flags |= lfWritten
 	}
-	c.touch(l)
+	if m.Excl {
+		h.state = lineExclusive
+	} else {
+		h.state = lineShared
+	}
+	c.touch(h)
 	c.n.sys.checkObserved(c.n.id, m.Addr, m.Version)
 	if p.invalOnFill {
 		// The invalidation that raced with our fill applies now: the data
@@ -395,7 +423,7 @@ func (c *cache) handleData(m Msg) {
 		if m.Excl {
 			panic("protocol: invalOnFill set for exclusive grant")
 		}
-		c.drop(l)
+		c.drop(li)
 	}
 	latency := c.n.sys.kernel.Now() + t.FillOverhead - p.start
 	c.doneAfter(t.FillOverhead, p.done, AccessOutcome{Class: ClassProtocol, Latency: latency})
@@ -403,19 +431,20 @@ func (c *cache) handleData(m Msg) {
 
 func (c *cache) handleUpgradeAck(m Msg) {
 	t := c.n.sys.timing
-	l := c.lookup(m.Addr)
-	if l == nil || !l.hasPend || !l.pend.isWrite {
+	li, found := c.lookupIdx(m.Addr)
+	if !found || c.hot[li].flags&lfHasPend == 0 || !c.cold[li].pend.isWrite {
 		panic(fmt.Sprintf("protocol: unsolicited upgrade ack for %v at node %d", m.Addr, c.n.id))
 	}
-	if l.state != lineShared {
+	if c.hot[li].state != lineShared {
 		panic(fmt.Sprintf("protocol: upgrade ack but line not shared for %v at node %d", m.Addr, c.n.id))
 	}
-	p := c.clearPend(l)
-	l.state = lineExclusive
-	l.version = m.Version
-	l.spec = false
-	l.written = true
-	c.touch(l)
+	p := c.clearPend(li)
+	h := &c.hot[li]
+	h.state = lineExclusive
+	h.version = m.Version
+	h.flags &^= lfSpec
+	h.flags |= lfWritten
+	c.touch(h)
 	c.n.sys.checkObserved(c.n.id, m.Addr, m.Version)
 	latency := c.n.sys.kernel.Now() + t.FillOverhead - p.start
 	c.doneAfter(t.FillOverhead, p.done, AccessOutcome{Class: ClassProtocol, Latency: latency})
@@ -426,10 +455,11 @@ func (c *cache) handleUpgradeAck(m Msg) {
 // speculatively-sent block and an in-flight read request for the block,
 // the DSM node receiving the block drops the speculated message."
 func (c *cache) handleSpecData(m Msg) {
-	l := c.lookup(m.Addr)
-	if l != nil && (l.hasPend || l.state != lineInvalid) {
-		c.stats.SpecDropped++
-		return
+	if li, ok := c.lookupIdx(m.Addr); ok {
+		if h := &c.hot[li]; h.flags&lfHasPend != 0 || h.state != lineInvalid {
+			c.stats.SpecDropped++
+			return
+		}
 	}
 	// Speculative data never displaces demand data in finite-cache mode.
 	if cap := c.n.opts.CacheCapacity; cap > 0 && c.valid >= cap {
@@ -437,23 +467,23 @@ func (c *cache) handleSpecData(m Msg) {
 		c.stats.SpecDropped++
 		return
 	}
-	nl := c.line(m.Addr)
-	c.install(nl)
-	nl.state = lineShared
-	nl.version = m.Version
-	nl.spec = true
-	nl.referenced = false
-	nl.written = false
-	c.touch(nl)
+	nli := c.lineIdx(m.Addr)
+	c.install(nli)
+	h := &c.hot[nli]
+	h.state = lineShared
+	h.version = m.Version
+	h.flags &^= lfReferenced | lfWritten
+	h.flags |= lfSpec
+	c.touch(h)
 	c.stats.SpecInstalled++
 }
 
 // sweepSpecLines reports speculative lines never referenced by the end of
 // a run (misspeculations that were not yet caught by an invalidation).
 func (c *cache) sweepSpecLines() (unreferenced uint64) {
-	for i := range c.lines {
-		l := &c.lines[i]
-		if l.state != lineInvalid && l.spec && !l.referenced {
+	for i := range c.hot {
+		h := &c.hot[i]
+		if h.state != lineInvalid && h.flags&(lfSpec|lfReferenced) == lfSpec {
 			unreferenced++
 		}
 	}

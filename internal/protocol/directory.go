@@ -79,75 +79,110 @@ type specPend struct {
 	rp   core.ReadPrediction
 }
 
-// dirEntry is the full-map directory state for one home block. Entries
-// live inline in the directory's dense entries slice (indexed through a
-// mem.BlockMap), not behind per-block pointers; addr is kept in the entry
-// so audits can walk the slice directly.
-type dirEntry struct {
-	addr    mem.BlockAddr
-	state   dirState
+// Directory entry state is split structure-of-arrays across two parallel
+// slices sharing one stable index (see directory.hot/cold): dirHot is the
+// 32-byte record the serve path reads on every request — coherence state,
+// owner, sharer vector, version, the transaction pointer, and a flags
+// byte that caches "does this entry have cold state worth looking at" —
+// while dirCold carries the bookkeeping (wait queue, speculative-copy
+// tracking, SWI watch identity, audit address) that only queued, racing,
+// or speculative traffic touches. A request that hits a quiescent entry
+// dispatches entirely out of dirHot.
+type dirHot struct {
 	sharers mem.ReaderVec
-	owner   mem.NodeID
 	// version counts write-permission grants; every data message carries
 	// it and the system checker asserts per-node monotonicity.
 	version uint64
 	tr      *trans
-	waitq   []queuedReq
-	// SWI watch: set when an SWI writeback completes; the next request
-	// decides whether the invalidation was premature (§4.1).
-	swiWatch bool
+	owner   mem.NodeID
+	state   dirState
+	flags   uint8
+}
+
+// dirHot.flags bits. The queue and spec-pend bits mirror the emptiness of
+// the corresponding dirCold slices so the fast path can skip the cold
+// lookup entirely; the SWI and spec-upgrade bits are the state itself.
+const (
+	// dfSWIWatch: an SWI writeback completed; the next request decides
+	// whether the invalidation was premature (§4.1). The guard and owner
+	// identity live in dirCold.
+	dfSWIWatch uint8 = 1 << iota
+	// dfSpecUpgraded: the current exclusive grant was made speculatively
+	// for migratory sharing (extension).
+	dfSpecUpgraded
+	// dfHasWait mirrors len(cold.waitq) > 0.
+	dfHasWait
+	// dfHasSpec mirrors len(cold.specPending) > 0.
+	dfHasSpec
+)
+
+// dirCold is the cold half of one directory entry; addr is kept here so
+// audits can walk the slice directly.
+type dirCold struct {
+	addr     mem.BlockAddr
+	waitq    []queuedReq
 	swiOwner mem.NodeID
 	swiGuard core.SWIGuard
 	// specPending lists nodes holding unverified speculative copies with
 	// the prediction that produced each.
 	specPending []specPend
-	// specUpgraded marks an exclusive grant made speculatively for
-	// migratory sharing (extension).
-	specUpgraded bool
 }
 
-// popWait removes and returns the oldest queued request, shifting in
-// place so the slice's capacity is reused instead of walking off its
-// backing array.
-func (e *dirEntry) popWait() queuedReq {
-	q := e.waitq[0]
-	n := copy(e.waitq, e.waitq[1:])
-	e.waitq = e.waitq[:n]
+// popWait removes and returns entry ei's oldest queued request, shifting
+// in place so the slice's capacity is reused instead of walking off its
+// backing array. Callers check dfHasWait first; the flag clears here when
+// the queue empties.
+func (d *directory) popWait(ei int32) queuedReq {
+	c := &d.cold[ei]
+	q := c.waitq[0]
+	n := copy(c.waitq, c.waitq[1:])
+	c.waitq = c.waitq[:n]
+	if n == 0 {
+		d.hot[ei].flags &^= dfHasWait
+	}
 	return q
 }
 
-// specPendFor returns the tracked prediction for node, if any.
-func (e *dirEntry) specPendFor(node mem.NodeID) (core.ReadPrediction, bool) {
-	for i := range e.specPending {
-		if e.specPending[i].node == node {
-			return e.specPending[i].rp, true
-		}
-	}
-	return core.ReadPrediction{}, false
+// pushWait queues a request on entry ei.
+func (d *directory) pushWait(ei int32, q queuedReq) {
+	d.cold[ei].waitq = append(d.cold[ei].waitq, q)
+	d.hot[ei].flags |= dfHasWait
 }
 
-// setSpecPend records (or replaces) the tracked prediction for node.
-func (e *dirEntry) setSpecPend(node mem.NodeID, rp core.ReadPrediction) {
-	for i := range e.specPending {
-		if e.specPending[i].node == node {
-			e.specPending[i].rp = rp
+// setSpecPend records (or replaces) the tracked prediction for node on
+// entry ei.
+func (d *directory) setSpecPend(ei int32, node mem.NodeID, rp core.ReadPrediction) {
+	c := &d.cold[ei]
+	for i := range c.specPending {
+		if c.specPending[i].node == node {
+			c.specPending[i].rp = rp
 			return
 		}
 	}
-	e.specPending = append(e.specPending, specPend{node: node, rp: rp})
+	c.specPending = append(c.specPending, specPend{node: node, rp: rp})
+	d.hot[ei].flags |= dfHasSpec
 }
 
-// clearSpecPend removes and returns the tracked prediction for node. The
+// clearSpecPend removes and returns the tracked prediction for node on
+// entry ei. The hot flag is consulted first, so entries with no
+// speculative copies (the common case) never touch the cold array; the
 // vacated tail record is zeroed so its ReadPrediction does not pin
 // predictor storage.
-func (e *dirEntry) clearSpecPend(node mem.NodeID) (core.ReadPrediction, bool) {
-	for i := range e.specPending {
-		if e.specPending[i].node == node {
-			rp := e.specPending[i].rp
-			last := len(e.specPending) - 1
-			e.specPending[i] = e.specPending[last]
-			e.specPending[last] = specPend{}
-			e.specPending = e.specPending[:last]
+func (d *directory) clearSpecPend(ei int32, node mem.NodeID) (core.ReadPrediction, bool) {
+	if d.hot[ei].flags&dfHasSpec == 0 {
+		return core.ReadPrediction{}, false
+	}
+	c := &d.cold[ei]
+	for i := range c.specPending {
+		if c.specPending[i].node == node {
+			rp := c.specPending[i].rp
+			last := len(c.specPending) - 1
+			c.specPending[i] = c.specPending[last]
+			c.specPending[last] = specPend{}
+			c.specPending = c.specPending[:last]
+			if last == 0 {
+				d.hot[ei].flags &^= dfHasSpec
+			}
 			return rp, true
 		}
 	}
@@ -194,13 +229,15 @@ func (g *grantEvent) fire() {
 }
 
 // directory is the home-side controller of one node. Per-block state
-// lives inline in the dense entries slice; table maps a home block to its
-// stable index (entries are created on first touch and never removed, so
-// the insert-only BlockMap suffices).
+// lives inline in the parallel hot/cold slices; table maps a home block
+// to its stable index (entries are created on first touch and never
+// removed, so the insert-only BlockMap suffices, and hot[i]/cold[i] are
+// two halves of the same entry forever).
 type directory struct {
-	n       *Node
-	table   mem.BlockMap
-	entries []dirEntry
+	n     *Node
+	table mem.BlockMap
+	hot   []dirHot
+	cold  []dirCold
 	// free serializes directory occupancy, modeling queueing delay.
 	free  sim.Cycle
 	stats DirStats
@@ -215,37 +252,44 @@ type directory struct {
 }
 
 func newDirectory(n *Node) *directory {
-	d := &directory{n: n}
+	// Pre-sizing the parallel slices turns the first-touch doubling chain
+	// (one reallocation per power of two) into a single allocation per
+	// array; a node's share of home blocks typically fits.
+	d := &directory{
+		n:    n,
+		hot:  make([]dirHot, 0, 64),
+		cold: make([]dirCold, 0, 64),
+	}
 	d.processNext = d.dispatch
 	return d
 }
 
 // entryIdx returns the stable index of addr's entry, creating the entry
-// on first touch. Creation within the slice's capacity re-initializes
-// the vacated element in place, keeping the waitq/specPending backing
+// on first touch. Creation within the slices' capacity re-initializes
+// the vacated elements in place, keeping the waitq/specPending backing
 // arrays a previous run left behind (see reset) instead of dropping them.
 func (d *directory) entryIdx(addr mem.BlockAddr) int32 {
-	if idx, ok := d.table.Get(addr); ok {
+	idx, created := d.table.Reserve(addr, int32(len(d.hot)))
+	if !created {
 		return idx
 	}
 	if addr.Home() != d.n.id {
 		panic(fmt.Sprintf("protocol: block %v is not homed at node %d", addr, d.n.id))
 	}
-	idx := int32(len(d.entries))
-	if int(idx) < cap(d.entries) {
-		d.entries = d.entries[:idx+1]
-		e := &d.entries[idx]
-		wq, sp := e.waitq[:0], e.specPending[:0]
-		*e = dirEntry{addr: addr, owner: mem.NoNode, waitq: wq, specPending: sp}
+	d.hot = append(d.hot, dirHot{owner: mem.NoNode})
+	if int(idx) < cap(d.cold) {
+		d.cold = d.cold[:idx+1]
+		c := &d.cold[idx]
+		wq, sp := c.waitq[:0], c.specPending[:0]
+		*c = dirCold{addr: addr, waitq: wq, specPending: sp}
 	} else {
-		d.entries = append(d.entries, dirEntry{addr: addr, owner: mem.NoNode})
+		d.cold = append(d.cold, dirCold{addr: addr})
 	}
-	d.table.Put(addr, idx)
 	return idx
 }
 
 // reset re-arms the directory for a fresh run: the block table, dense
-// entries slice, input queue, occupancy horizon, and counters clear,
+// hot/cold slices, input queue, occupancy horizon, and counters clear,
 // retaining all storage — including each retired entry's waitq and
 // specPending backing arrays, which entryIdx re-adopts when the slot is
 // reused. The grant and transaction pools are kept. Entries must be
@@ -253,52 +297,45 @@ func (d *directory) entryIdx(addr mem.BlockAddr) int32 {
 // guarantees via CheckQuiescent.
 func (d *directory) reset() {
 	d.table.Reset()
-	for i := range d.entries {
-		e := &d.entries[i]
+	clear(d.hot)
+	d.hot = d.hot[:0]
+	for i := range d.cold {
+		c := &d.cold[i]
 		// Zero the record but keep the slice headers for reuse; the queues
 		// hold only values (and pooled-store handles), so truncation alone
 		// retires their contents.
-		*e = dirEntry{waitq: e.waitq[:0], specPending: e.specPending[:0]}
+		*c = dirCold{waitq: c.waitq[:0], specPending: c.specPending[:0]}
 	}
-	d.entries = d.entries[:0]
+	d.cold = d.cold[:0]
 	d.free = 0
 	d.stats = DirStats{}
 	d.inq = d.inq[:0]
 	d.inqHead = 0
 }
 
-// entry returns addr's entry, creating it on first touch. The pointer is
-// only valid until the next entry creation (slice growth); it must not be
-// held across scheduled events — use entryIdx for that.
-func (d *directory) entry(addr mem.BlockAddr) *dirEntry {
-	return &d.entries[d.entryIdx(addr)]
+// lookupIdx returns the stable index of addr's entry without creating it.
+func (d *directory) lookupIdx(addr mem.BlockAddr) (int32, bool) {
+	return d.table.Get(addr)
 }
 
-// lookupEntry returns addr's entry without creating it, or nil.
-func (d *directory) lookupEntry(addr mem.BlockAddr) *dirEntry {
-	if idx, ok := d.table.Get(addr); ok {
-		return &d.entries[idx]
-	}
-	return nil
-}
-
-// startTrans begins a transaction on e, recycling a pooled carrier.
-func (d *directory) startTrans(e *dirEntry, t trans) {
+// startTrans begins a transaction on entry h, recycling a pooled carrier.
+func (d *directory) startTrans(h *dirHot, t trans) {
 	tr, ok := d.transPool.Get()
 	if !ok {
 		tr = &trans{}
 	}
 	*tr = t
-	e.tr = tr
+	h.tr = tr
 }
 
-// endTrans clears e's transaction and recycles the carrier. The carrier
-// is zeroed on release so a stale SWIGuard cannot pin predictor storage.
-func (d *directory) endTrans(e *dirEntry) {
-	if tr := e.tr; tr != nil {
+// endTrans clears entry h's transaction and recycles the carrier. The
+// carrier is zeroed on release so a stale SWIGuard cannot pin predictor
+// storage.
+func (d *directory) endTrans(h *dirHot) {
+	if tr := h.tr; tr != nil {
 		*tr = trans{}
 		d.transPool.Put(tr)
-		e.tr = nil
+		h.tr = nil
 	}
 }
 
@@ -378,28 +415,30 @@ func (d *directory) processRequest(src mem.NodeID, kind mem.ReqKind, addr mem.Bl
 	d.observe(addr, core.ReqMsgType(kind), src)
 
 	ei := d.entryIdx(addr)
-	e := &d.entries[ei]
-	if e.tr != nil {
+	if d.hot[ei].tr != nil {
 		d.stats.QueuedReqs++
-		e.waitq = append(e.waitq, queuedReq{kind: kind, src: src})
+		d.pushWait(ei, queuedReq{kind: kind, src: src})
 		return
 	}
 	d.serve(addr, ei, kind, src)
 }
 
 // checkSWIWatch resolves the premature-invalidation watch on the first
-// request served after an SWI completes.
-func (d *directory) checkSWIWatch(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind, src mem.NodeID) (verify core.SWIGuard, verifyOn bool) {
-	if !e.swiWatch {
+// request served after an SWI completes. The watch bit lives in the hot
+// flags so unwatched entries (the common case) never read the cold guard.
+func (d *directory) checkSWIWatch(addr mem.BlockAddr, ei int32, kind mem.ReqKind, src mem.NodeID) (verify core.SWIGuard, verifyOn bool) {
+	h := &d.hot[ei]
+	if h.flags&dfSWIWatch == 0 {
 		return core.SWIGuard{}, false
 	}
-	e.swiWatch = false
-	guard := e.swiGuard
-	e.swiGuard = core.SWIGuard{}
-	if src != e.swiOwner {
+	h.flags &^= dfSWIWatch
+	c := &d.cold[ei]
+	guard := c.swiGuard
+	c.swiGuard = core.SWIGuard{}
+	if src != c.swiOwner {
 		return core.SWIGuard{}, false // a consumer intervened: SWI succeeded
 	}
-	if kind == mem.ReqRead || len(e.specPending) == 0 {
+	if kind == mem.ReqRead || h.flags&dfHasSpec == 0 {
 		// The producer wants the block back before anyone consumed it.
 		d.premature(addr, guard)
 		return core.SWIGuard{}, false
@@ -417,7 +456,7 @@ func (d *directory) premature(addr mem.BlockAddr, guard core.SWIGuard) {
 
 // serve executes one request against a non-busy entry.
 func (d *directory) serve(addr mem.BlockAddr, ei int32, kind mem.ReqKind, src mem.NodeID) {
-	verify, verifyOn := d.checkSWIWatch(addr, &d.entries[ei], kind, src)
+	verify, verifyOn := d.checkSWIWatch(addr, ei, kind, src)
 
 	switch kind {
 	case mem.ReqRead:
@@ -445,43 +484,43 @@ func (d *directory) grantAfter(delay sim.Cycle, g grantEvent) {
 
 func (d *directory) serveRead(addr mem.BlockAddr, ei int32, src mem.NodeID) {
 	t := d.n.sys.timing
-	e := &d.entries[ei]
-	switch e.state {
+	h := &d.hot[ei]
+	switch h.state {
 	case dirIdle, dirShared:
-		phaseStart := e.state == dirIdle
+		phaseStart := h.state == dirIdle
 		// Speculative upgrade extension: if the predictor expects this
 		// reader to upgrade next (migratory sharing), grant exclusively.
 		if phaseStart && d.specUpgradeApplies(addr, src) {
 			d.stats.SpecUpgrades++
-			e.specUpgraded = true
+			h.flags |= dfSpecUpgraded
 			d.grantExclusive(addr, ei, src, mem.ReqWrite, false)
 			return
 		}
-		e.state = dirShared
-		e.sharers = e.sharers.With(src)
-		d.startTrans(e, trans{kind: transGrant, requester: src})
+		h.state = dirShared
+		h.sharers = h.sharers.With(src)
+		d.startTrans(h, trans{kind: transGrant, requester: src})
 		d.grantAfter(t.MemAccess, grantEvent{
 			addr:      addr,
 			ei:        ei,
 			dst:       src,
-			msg:       Msg{Kind: MsgData, Addr: addr, Version: e.version},
+			msg:       Msg{Kind: MsgData, Addr: addr, Version: h.version},
 			sendData:  true,
 			doFR:      phaseStart && d.n.opts.EnableFR,
 			frExclude: mem.VecOf(src),
 		})
 	case dirExclusive:
-		if e.owner == src {
+		if h.owner == src {
 			panic(fmt.Sprintf("protocol: owner %d re-reading %v", src, addr))
 		}
-		d.startTrans(e, trans{kind: transReadRecall, requester: src, reqKind: mem.ReqRead})
+		d.startTrans(h, trans{kind: transReadRecall, requester: src, reqKind: mem.ReqRead})
 		d.stats.RecallsSent++
-		d.n.sys.route(d.n.id, e.owner, Msg{Kind: MsgRecall, Addr: addr})
+		d.n.sys.route(d.n.id, h.owner, Msg{Kind: MsgRecall, Addr: addr})
 	}
 }
 
 func (d *directory) serveWrite(addr mem.BlockAddr, ei int32, kind mem.ReqKind, src mem.NodeID, verify core.SWIGuard, verifyOn bool) {
-	e := &d.entries[ei]
-	switch e.state {
+	h := &d.hot[ei]
+	switch h.state {
 	case dirIdle:
 		if verifyOn {
 			// No sharers to consult: nobody consumed, so it was premature.
@@ -489,13 +528,13 @@ func (d *directory) serveWrite(addr mem.BlockAddr, ei int32, kind mem.ReqKind, s
 		}
 		d.grantExclusive(addr, ei, src, kind, false)
 	case dirShared:
-		others := e.sharers.Without(src)
+		others := h.sharers.Without(src)
 		// If src's sharer membership came from an unverified speculative
 		// forward, the home cannot assume src kept the copy (it may have
 		// dropped the speculated message under the race rule), so the
 		// grant must carry data rather than permission only.
-		_, specTainted := e.clearSpecPend(src)
-		viaUpgrade := kind == mem.ReqUpgrade && e.sharers.Has(src) && !specTainted
+		_, specTainted := d.clearSpecPend(ei, src)
+		viaUpgrade := kind == mem.ReqUpgrade && h.sharers.Has(src) && !specTainted
 		if others.Empty() {
 			if verifyOn {
 				d.premature(addr, verify)
@@ -503,7 +542,7 @@ func (d *directory) serveWrite(addr mem.BlockAddr, ei int32, kind mem.ReqKind, s
 			d.grantExclusive(addr, ei, src, kind, viaUpgrade)
 			return
 		}
-		d.startTrans(e, trans{
+		d.startTrans(h, trans{
 			kind:         transInval,
 			requester:    src,
 			reqKind:      kind,
@@ -519,12 +558,12 @@ func (d *directory) serveWrite(addr mem.BlockAddr, ei int32, kind mem.ReqKind, s
 			d.n.sys.route(d.n.id, q, Msg{Kind: MsgInval, Addr: addr})
 		}
 	case dirExclusive:
-		if e.owner == src {
+		if h.owner == src {
 			panic(fmt.Sprintf("protocol: owner %d re-requesting write for %v", src, addr))
 		}
-		d.startTrans(e, trans{kind: transWriteRecall, requester: src, reqKind: kind})
+		d.startTrans(h, trans{kind: transWriteRecall, requester: src, reqKind: kind})
 		d.stats.RecallsSent++
-		d.n.sys.route(d.n.id, e.owner, Msg{Kind: MsgRecall, Addr: addr})
+		d.n.sys.route(d.n.id, h.owner, Msg{Kind: MsgRecall, Addr: addr})
 	}
 }
 
@@ -535,13 +574,13 @@ func (d *directory) serveWrite(addr mem.BlockAddr, ei int32, kind mem.ReqKind, s
 // busy until the grant is on the wire.
 func (d *directory) grantExclusive(addr mem.BlockAddr, ei int32, src mem.NodeID, kind mem.ReqKind, viaUpgradeAck bool) {
 	t := d.n.sys.timing
-	e := &d.entries[ei]
-	d.endTrans(e)
-	e.version++
-	e.state = dirExclusive
-	e.owner = src
-	e.sharers = 0
-	v := e.version
+	h := &d.hot[ei]
+	d.endTrans(h)
+	h.version++
+	h.state = dirExclusive
+	h.owner = src
+	h.sharers = 0
+	v := h.version
 	d.n.sys.noteVersion(addr, v)
 	if viaUpgradeAck {
 		d.stats.UpgradeGrants++
@@ -549,7 +588,7 @@ func (d *directory) grantExclusive(addr mem.BlockAddr, ei int32, src mem.NodeID,
 		d.finish(addr, ei)
 		return
 	}
-	d.startTrans(e, trans{kind: transGrant, requester: src})
+	d.startTrans(h, trans{kind: transGrant, requester: src})
 	d.grantAfter(t.MemAccess, grantEvent{
 		addr:     addr,
 		ei:       ei,
@@ -562,13 +601,13 @@ func (d *directory) grantExclusive(addr mem.BlockAddr, ei int32, src mem.NodeID,
 // finish clears the entry's transaction and serves queued requests until
 // one of them blocks the entry again.
 func (d *directory) finish(addr mem.BlockAddr, ei int32) {
-	d.endTrans(&d.entries[ei])
+	d.endTrans(&d.hot[ei])
 	for {
-		e := &d.entries[ei]
-		if e.tr != nil || len(e.waitq) == 0 {
+		h := &d.hot[ei]
+		if h.tr != nil || h.flags&dfHasWait == 0 {
 			return
 		}
-		q := e.popWait()
+		q := d.popWait(ei)
 		d.serve(addr, ei, q.kind, q.src)
 	}
 }
@@ -576,33 +615,33 @@ func (d *directory) finish(addr mem.BlockAddr, ei int32) {
 func (d *directory) processAck(src mem.NodeID, addr mem.BlockAddr, specUnused bool) {
 	d.observe(addr, core.MsgAckInv, src)
 	ei := d.entryIdx(addr)
-	e := &d.entries[ei]
+	h := &d.hot[ei]
 	d.stats.AcksReceived++
 
 	// Speculation verification (§4.2): the piggy-backed bit reports
 	// whether a speculatively placed copy was ever referenced.
-	if rp, ok := e.clearSpecPend(src); ok {
+	if rp, ok := d.clearSpecPend(ei, src); ok {
 		if specUnused {
 			rp.Prune(src)
 			if a := d.n.opts.Active; a != nil {
 				a.RetractReader(addr, src)
 			}
 			d.stats.SpecReadUnused++
-		} else if e.tr != nil {
-			e.tr.sawSpecRef = true
+		} else if h.tr != nil {
+			h.tr.sawSpecRef = true
 		}
 	}
 
-	e.sharers = e.sharers.Without(src)
-	if e.tr == nil || e.tr.kind != transInval {
+	h.sharers = h.sharers.Without(src)
+	if h.tr == nil || h.tr.kind != transInval {
 		// Ack for a non-invalidating entry would be a protocol bug.
 		panic(fmt.Sprintf("protocol: stray ack for %v from %d", addr, src))
 	}
-	e.tr.acksLeft--
-	if e.tr.acksLeft > 0 {
+	h.tr.acksLeft--
+	if h.tr.acksLeft > 0 {
 		return
 	}
-	tr := e.tr
+	tr := h.tr
 	if tr.swiVerifyOn && !tr.sawSpecRef {
 		d.premature(addr, tr.swiVerify)
 	}
@@ -614,9 +653,9 @@ func (d *directory) processAck(src mem.NodeID, addr mem.BlockAddr, specUnused bo
 func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 	d.observe(m.Addr, core.MsgWriteback, src)
 	ei := d.entryIdx(m.Addr)
-	e := &d.entries[ei]
+	h := &d.hot[ei]
 	d.stats.Writebacks++
-	if e.tr == nil {
+	if h.tr == nil {
 		// Only a capacity eviction may write back unsolicited; it retires
 		// the ownership in place. (If a recall is outstanding, the
 		// voluntary writeback instead falls through and serves as that
@@ -625,79 +664,79 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 		if !m.Voluntary {
 			panic(fmt.Sprintf("protocol: unsolicited writeback for %v from %d", m.Addr, src))
 		}
-		if e.state != dirExclusive || e.owner != src {
+		if h.state != dirExclusive || h.owner != src {
 			panic(fmt.Sprintf("protocol: voluntary writeback for %v from %d but directory says %v owner %d",
-				m.Addr, src, e.state, e.owner))
+				m.Addr, src, h.state, h.owner))
 		}
-		if m.Version != e.version {
+		if m.Version != h.version {
 			panic(fmt.Sprintf("protocol: voluntary writeback version %d != directory %d for %v",
-				m.Version, e.version, m.Addr))
+				m.Version, h.version, m.Addr))
 		}
-		if e.specUpgraded {
+		if h.flags&dfSpecUpgraded != 0 {
 			if !m.Written {
 				d.stats.SpecUpgradeMisfires++
 			}
-			e.specUpgraded = false
+			h.flags &^= dfSpecUpgraded
 		}
-		e.state = dirIdle
-		e.owner = mem.NoNode
-		e.sharers = 0
+		h.state = dirIdle
+		h.owner = mem.NoNode
+		h.sharers = 0
 		return
 	}
-	if e.owner != src {
+	if h.owner != src {
 		panic(fmt.Sprintf("protocol: writeback for %v from non-owner %d", m.Addr, src))
 	}
-	if m.Version != e.version {
-		panic(fmt.Sprintf("protocol: writeback version %d != directory %d for %v", m.Version, e.version, m.Addr))
+	if m.Version != h.version {
+		panic(fmt.Sprintf("protocol: writeback version %d != directory %d for %v", m.Version, h.version, m.Addr))
 	}
-	if e.specUpgraded {
+	if h.flags&dfSpecUpgraded != 0 {
 		if !m.Written {
 			d.stats.SpecUpgradeMisfires++
 		}
-		e.specUpgraded = false
+		h.flags &^= dfSpecUpgraded
 	}
-	e.owner = mem.NoNode
+	h.owner = mem.NoNode
 	t := d.n.sys.timing
 
-	switch e.tr.kind {
+	switch h.tr.kind {
 	case transReadRecall:
-		req := e.tr.requester
-		d.endTrans(e)
-		e.state = dirIdle
-		e.sharers = 0
+		req := h.tr.requester
+		d.endTrans(h)
+		h.state = dirIdle
+		h.sharers = 0
 		// Migratory sharing arrives through this recall path: if the
 		// predictor expects the reader to upgrade next, grant exclusively
 		// (speculative upgrade extension).
 		if d.specUpgradeApplies(m.Addr, req) {
 			d.stats.SpecUpgrades++
-			e.specUpgraded = true
+			h.flags |= dfSpecUpgraded
 			d.grantExclusive(m.Addr, ei, req, mem.ReqWrite, false)
 			return
 		}
-		e.state = dirShared
-		e.sharers = mem.VecOf(req)
-		d.startTrans(e, trans{kind: transGrant, requester: req})
+		h.state = dirShared
+		h.sharers = mem.VecOf(req)
+		d.startTrans(h, trans{kind: transGrant, requester: req})
 		d.grantAfter(t.MemAccess, grantEvent{
 			addr:      m.Addr,
 			ei:        ei,
 			dst:       req,
-			msg:       Msg{Kind: MsgData, Addr: m.Addr, Version: e.version},
+			msg:       Msg{Kind: MsgData, Addr: m.Addr, Version: h.version},
 			sendData:  true,
 			doFR:      d.n.opts.EnableFR,
 			frExclude: mem.VecOf(req),
 		})
 	case transWriteRecall:
-		req, reqKind := e.tr.requester, e.tr.reqKind
-		e.state = dirIdle
-		e.sharers = 0
+		req, reqKind := h.tr.requester, h.tr.reqKind
+		h.state = dirIdle
+		h.sharers = 0
 		d.grantExclusive(m.Addr, ei, req, reqKind, false)
 	case transSWI:
-		d.endTrans(e)
-		e.state = dirIdle
-		e.sharers = 0
-		e.swiWatch = true
-		e.swiOwner = src
-		d.startTrans(e, trans{kind: transGrant})
+		d.endTrans(h)
+		h.state = dirIdle
+		h.sharers = 0
+		h.flags |= dfSWIWatch
+		d.cold[ei].swiOwner = src
+		d.startTrans(h, trans{kind: transGrant})
 		d.grantAfter(t.MemAccess, grantEvent{
 			addr:  m.Addr,
 			ei:    ei,
@@ -705,7 +744,7 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 			frSWI: true,
 		})
 	default:
-		panic(fmt.Sprintf("protocol: writeback during %v transaction for %v", e.tr.kind, m.Addr))
+		panic(fmt.Sprintf("protocol: writeback during %v transaction for %v", h.tr.kind, m.Addr))
 	}
 }
 
@@ -713,49 +752,51 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 // mutating directory state directly (the access is ordered at call time).
 // Returns the observed/granted version.
 func (d *directory) tryLocalFastPath(addr mem.BlockAddr, isWrite bool) (uint64, bool) {
-	e := d.entry(addr)
-	if e.tr != nil || len(e.waitq) > 0 {
+	ei := d.entryIdx(addr)
+	h := &d.hot[ei]
+	if h.tr != nil || h.flags&dfHasWait != 0 {
 		return 0, false
 	}
 	self := d.n.id
 	if !isWrite {
-		if e.state == dirIdle || e.state == dirShared {
-			d.resolveLocalSWIWatch(addr, e, mem.ReqRead)
-			e.state = dirShared
-			e.sharers = e.sharers.With(self)
-			return e.version, true
+		if h.state == dirIdle || h.state == dirShared {
+			d.resolveLocalSWIWatch(addr, ei, mem.ReqRead)
+			h.state = dirShared
+			h.sharers = h.sharers.With(self)
+			return h.version, true
 		}
 		// state Exclusive: even owner==self is possible in finite-cache
 		// mode (the line was evicted and its voluntary writeback is still
 		// in flight); take the slow path, which queues behind it.
 		return 0, false
 	}
-	soleLocal := e.state == dirIdle ||
-		(e.state == dirShared && e.sharers.Without(self).Empty())
+	soleLocal := h.state == dirIdle ||
+		(h.state == dirShared && h.sharers.Without(self).Empty())
 	if !soleLocal {
 		return 0, false
 	}
-	d.resolveLocalSWIWatch(addr, e, mem.ReqWrite)
-	e.version++
-	e.state = dirExclusive
-	e.owner = self
-	e.sharers = 0
-	d.n.sys.noteVersion(addr, e.version)
-	return e.version, true
+	d.resolveLocalSWIWatch(addr, ei, mem.ReqWrite)
+	h.version++
+	h.state = dirExclusive
+	h.owner = self
+	h.sharers = 0
+	d.n.sys.noteVersion(addr, h.version)
+	return h.version, true
 }
 
 // resolveLocalSWIWatch applies the premature-invalidation watch to local
 // fast-path accesses: the home node's processor is itself the producer in
 // many sharing patterns, and its silent local re-access after an SWI is
 // exactly the "producer was not done" signal.
-func (d *directory) resolveLocalSWIWatch(addr mem.BlockAddr, e *dirEntry, kind mem.ReqKind) {
-	if !e.swiWatch {
+func (d *directory) resolveLocalSWIWatch(addr mem.BlockAddr, ei int32, kind mem.ReqKind) {
+	if d.hot[ei].flags&dfSWIWatch == 0 {
 		return
 	}
-	e.swiWatch = false
-	guard := e.swiGuard
-	e.swiGuard = core.SWIGuard{}
-	if d.n.id == e.swiOwner {
+	d.hot[ei].flags &^= dfSWIWatch
+	c := &d.cold[ei]
+	guard := c.swiGuard
+	c.swiGuard = core.SWIGuard{}
+	if d.n.id == c.swiOwner {
 		d.premature(addr, guard)
 	}
 	_ = kind

@@ -23,21 +23,37 @@
 // dropped at the receiver, exactly as the paper specifies, so a failed
 // speculation degrades to the base protocol.
 //
-// # Allocation discipline
+// # Storage layout and allocation discipline
 //
 // The protocol layer is on the critical path of every simulated access, so
 // its steady state allocates nothing (enforced by the alloc-guard tests in
-// alloc_test.go):
+// alloc_test.go) and its per-block state is laid out structure-of-arrays:
 //
-//   - Per-block directory and cache state lives inline in dense slices
-//     indexed through mem.BlockMap — no per-block heap objects. Deferred
-//     events reference entries by stable index, never by pointer, because
-//     the slices grow.
+//   - Each directory splits per-block state into two parallel slices,
+//     dirHot and dirCold, sharing one index space; each cache does the
+//     same with lineHot and lineCold. The hot record carries only what
+//     the serve/hit paths read on every access (state, version, sharer
+//     vector, owner, a flag byte); everything touched off the fast path —
+//     the block address, wait queues, SWI watch bookkeeping, speculative
+//     pending lists — lives in the cold record, so a fast-path access
+//     pulls a fraction of a cache line instead of the whole entry.
+//   - The hot flag byte mirrors cold-state emptiness (dfHasWait,
+//     dfHasSpec, dfSWIWatch, ...): the fast path decides "is there
+//     deferred work?" from the hot record alone and only dereferences
+//     the cold slice when a flag says there is something to find. Any
+//     code that empties a cold field must clear the mirroring flag.
+//   - Both slices are indexed through mem.BlockMap (first touch goes
+//     through BlockMap.Reserve, a single-probe get-or-insert). Indices
+//     are stable for the lifetime of the table — growth appends, Reset
+//     truncates — so deferred events and kernel callbacks reference
+//     entries by int32 index, never by pointer, and a *dirHot/*lineHot
+//     taken inside one handler must not be held across anything that can
+//     create a new entry.
 //   - Directory transactions, grant events, completion callbacks, and
 //     delayed sends all ride pooled carriers (sim.FreeList) whose kernel
 //     closures are bound once per object.
 //   - Transient per-block state (the outstanding miss, the
 //     eviction-writeback marker, speculative-copy tracking) is folded into
-//     the block's inline record and retired by clearing a flag, so no map
+//     the cold record and retired by clearing its hot flag, so no map
 //     insert or delete happens after a block's first touch.
 package protocol

@@ -18,11 +18,12 @@ func (d *directory) maybeSWI(addr mem.BlockAddr, writer mem.NodeID) {
 	if act == nil {
 		return
 	}
-	e := d.entry(addr)
-	if e.state != dirExclusive || e.owner != writer {
+	ei := d.entryIdx(addr)
+	h := &d.hot[ei]
+	if h.state != dirExclusive || h.owner != writer {
 		return
 	}
-	if e.tr != nil || len(e.waitq) > 0 {
+	if h.tr != nil || h.flags&dfHasWait != 0 {
 		return
 	}
 	guard := act.SWIGuard(addr)
@@ -35,8 +36,8 @@ func (d *directory) maybeSWI(addr mem.BlockAddr, writer mem.NodeID) {
 	if _, ok := act.PredictReaders(addr); !ok {
 		return
 	}
-	e.swiGuard = guard
-	d.startTrans(e, trans{kind: transSWI, requester: writer})
+	d.cold[ei].swiGuard = guard
+	d.startTrans(h, trans{kind: transSWI, requester: writer})
 	d.stats.SWIRecalls++
 	d.stats.RecallsSent++
 	d.n.sys.route(d.n.id, writer, Msg{Kind: MsgRecall, Addr: addr, SWI: true})
@@ -55,20 +56,20 @@ func (d *directory) specForward(addr mem.BlockAddr, ei int32, exclude mem.Reader
 	if !ok {
 		return
 	}
-	e := &d.entries[ei]
-	targets := rp.Readers &^ exclude &^ e.sharers
+	h := &d.hot[ei]
+	targets := rp.Readers &^ exclude &^ h.sharers
 	if targets.Empty() {
 		return
 	}
-	if e.state == dirExclusive {
+	if h.state == dirExclusive {
 		return
 	}
-	v := e.version
+	v := h.version
 	for w := targets; !w.Empty(); {
 		q := w.Lowest()
 		w = w.Without(q)
-		e.sharers = e.sharers.With(q)
-		e.setSpecPend(q, rp)
+		h.sharers = h.sharers.With(q)
+		d.setSpecPend(ei, q, rp)
 		if viaSWI {
 			d.stats.SpecReadsSWI++
 		} else {
@@ -76,7 +77,7 @@ func (d *directory) specForward(addr mem.BlockAddr, ei int32, exclude mem.Reader
 		}
 		d.n.sys.route(d.n.id, q, Msg{Kind: MsgSpecData, Addr: addr, Version: v})
 	}
-	e.state = dirShared
+	h.state = dirShared
 	act.AssumeReaders(addr, targets)
 }
 

@@ -233,13 +233,13 @@ func (s *System) Violations() []string { return s.violations }
 // transaction or queued requests; call after the workload drains.
 func (s *System) CheckQuiescent() error {
 	for _, n := range s.nodes {
-		for i := range n.dir.entries {
-			e := &n.dir.entries[i]
-			if e.tr != nil {
-				return fmt.Errorf("protocol: entry %v still has transaction at node %d", e.addr, n.id)
+		for i := range n.dir.hot {
+			h := &n.dir.hot[i]
+			if h.tr != nil {
+				return fmt.Errorf("protocol: entry %v still has transaction at node %d", n.dir.cold[i].addr, n.id)
 			}
-			if len(e.waitq) != 0 {
-				return fmt.Errorf("protocol: entry %v has %d queued requests at node %d", e.addr, len(e.waitq), n.id)
+			if wq := len(n.dir.cold[i].waitq); wq != 0 {
+				return fmt.Errorf("protocol: entry %v has %d queued requests at node %d", n.dir.cold[i].addr, wq, n.id)
 			}
 		}
 		if n.cache.pendCount != 0 {
@@ -256,17 +256,18 @@ func (s *System) CheckQuiescent() error {
 // the current version. Call on a quiescent system.
 func (s *System) AuditConsistency() error {
 	for _, n := range s.nodes {
-		for i := range n.cache.lines {
-			l := &n.cache.lines[i]
+		for i := range n.cache.hot {
+			l := &n.cache.hot[i]
 			if l.state == lineInvalid {
 				continue
 			}
-			addr := l.addr
+			addr := n.cache.cold[i].addr
 			home := s.nodes[addr.Home()]
-			e := home.dir.lookupEntry(addr)
-			if e == nil {
+			ei, ok := home.dir.lookupIdx(addr)
+			if !ok {
 				return fmt.Errorf("protocol: node %d holds %v with no directory entry", n.id, addr)
 			}
+			e := &home.dir.hot[ei]
 			switch l.state {
 			case lineExclusive:
 				if e.state != dirExclusive || e.owner != n.id {
@@ -285,16 +286,17 @@ func (s *System) AuditConsistency() error {
 			}
 		}
 		// Exclusive directory entries must be backed by a real owner line.
-		for i := range n.dir.entries {
-			e := &n.dir.entries[i]
+		for i := range n.dir.hot {
+			e := &n.dir.hot[i]
 			if e.state != dirExclusive {
 				continue
 			}
+			addr := n.dir.cold[i].addr
 			owner := s.nodes[e.owner]
-			l := owner.cache.lookup(e.addr)
-			if l == nil || l.state != lineExclusive {
+			li, ok := owner.cache.lookupIdx(addr)
+			if !ok || owner.cache.hot[li].state != lineExclusive {
 				return fmt.Errorf("protocol: directory says %d owns %v but its line is absent/invalid",
-					e.owner, e.addr)
+					e.owner, addr)
 			}
 		}
 	}
@@ -314,16 +316,17 @@ type DirEntryView struct {
 // InspectEntry exposes directory state for tests and debugging.
 func (s *System) InspectEntry(addr mem.BlockAddr) DirEntryView {
 	d := s.nodes[addr.Home()].dir
-	e := d.lookupEntry(addr)
-	if e == nil {
+	ei, ok := d.lookupIdx(addr)
+	if !ok {
 		return DirEntryView{State: dirIdle.String(), Owner: mem.NoNode}
 	}
+	h := &d.hot[ei]
 	return DirEntryView{
-		State:    e.state.String(),
-		Sharers:  e.sharers,
-		Owner:    e.owner,
-		Version:  e.version,
-		Busy:     e.tr != nil,
-		QueueLen: len(e.waitq),
+		State:    h.state.String(),
+		Sharers:  h.sharers,
+		Owner:    h.owner,
+		Version:  h.version,
+		Busy:     h.tr != nil,
+		QueueLen: len(d.cold[ei].waitq),
 	}
 }

@@ -321,6 +321,44 @@ func (k *Kernel) pop() (fn func(), ok bool) {
 	return fn, true
 }
 
+// drainRing dispatches the ring's whole FIFO as one batch — every event
+// already sits at the current cycle, so no per-event scan/refill/register
+// check is needed between dispatches. Handlers that schedule at the
+// current cycle append to the ring mid-drain and are dispatched in the
+// same batch, preserving global insertion order (the ring IS the current
+// cycle's FIFO). Dispatch stops when the ring empties, Stop is called, or
+// budget events have run (budget 0 = unlimited). The node is recycled and
+// its fields copied out before the handler runs: the handler may grow the
+// node arena, invalidating the pointer, and may immediately reuse the
+// freed node for a same-cycle append.
+func (k *Kernel) drainRing(budget uint64) uint64 {
+	var n uint64
+	for {
+		i := k.cur.head
+		if i == 0 {
+			break
+		}
+		nd := &k.nodes[i]
+		fn := nd.fn
+		next := nd.next
+		nd.fn = nil
+		nd.next = k.freeHead
+		k.freeHead = i
+		k.cur.head = next
+		if next == 0 {
+			k.cur.tail = 0
+		}
+		k.near--
+		k.executed++
+		n++
+		fn()
+		if k.stopped || n == budget {
+			break
+		}
+	}
+	return n
+}
+
 // peekTime reports the next event's cycle without dispatching or
 // advancing the clock.
 func (k *Kernel) peekTime() (Cycle, bool) {
@@ -380,6 +418,12 @@ func (k *Kernel) Reset() {
 // Run dispatches events in order until the queue drains, Stop is called,
 // or maxEvents events have executed (0 means no limit). It returns the
 // number of events executed by this call.
+//
+// The loop is batched: each iteration makes the dispatch ring non-empty
+// (the one-event register, or a whole cycle spliced from the wheel by
+// refill) and then drains the ring's FIFO in one pass, paying the
+// register/refill classification once per cycle instead of once per
+// event.
 func (k *Kernel) Run(maxEvents uint64) uint64 {
 	k.stopped = false
 	var n uint64
@@ -387,13 +431,26 @@ func (k *Kernel) Run(maxEvents uint64) uint64 {
 		if maxEvents != 0 && n >= maxEvents {
 			break
 		}
-		fn, ok := k.pop()
-		if !ok {
-			break
+		if k.cur.head == 0 {
+			if k.oneValid {
+				e := k.one
+				k.one = event{}
+				k.oneValid = false
+				k.advanceTo(e.at) // overflow is empty; this only moves the clock
+				k.executed++
+				n++
+				e.fn()
+				continue
+			}
+			if !k.refill() {
+				break
+			}
 		}
-		k.executed++
-		n++
-		fn()
+		var budget uint64
+		if maxEvents != 0 {
+			budget = maxEvents - n
+		}
+		n += k.drainRing(budget)
 	}
 	return n
 }
@@ -405,6 +462,13 @@ func (k *Kernel) RunUntil(deadline Cycle) uint64 {
 	k.stopped = false
 	var n uint64
 	for !k.stopped {
+		if k.cur.head != 0 && k.now <= deadline {
+			// The whole ring sits at the current cycle, already checked
+			// against the deadline: drain it as a batch (same-cycle appends
+			// from handlers land at now and belong to this batch too).
+			n += k.drainRing(0)
+			continue
+		}
 		t, ok := k.peekTime()
 		if !ok || t > deadline {
 			break

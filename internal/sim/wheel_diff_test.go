@@ -202,6 +202,82 @@ func TestWheelMatchesReferenceRunUntil(t *testing.T) {
 	}
 }
 
+// TestWheelMatchesReferenceBatchStraddle targets the batched per-cycle
+// drain: handlers keep scheduling zero-delay events into the cycle that
+// is currently draining (the batch must absorb them in insertion order),
+// while bounded Run budgets cut the drain mid-batch so the next Run call
+// resumes the same cycle's leftover FIFO. The reference kernel has no
+// batch concept, so any ordering or accounting drift at these boundaries
+// diverges the sequences.
+func TestWheelMatchesReferenceBatchStraddle(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		workload := func(k scheduler) []stamp {
+			rng := rand.New(rand.NewSource(seed))
+			var got []stamp
+			next := 100
+			var handler func(id, depth int) func()
+			handler = func(id, depth int) func() {
+				return func() {
+					got = append(got, stamp{at: k.Now(), id: id})
+					if depth < 4 && rng.Intn(3) > 0 {
+						// Same-cycle child: joins the batch being drained.
+						cid := next
+						next++
+						k.After(0, handler(cid, depth+1))
+					}
+					if rng.Intn(4) == 0 {
+						// Next-cycle child: lands just past the batch boundary.
+						cid := next
+						next++
+						k.After(1, handler(cid, 0))
+					}
+				}
+			}
+			// Dense clusters on a handful of contested cycles.
+			for i := 0; i < 100; i++ {
+				k.At(Cycle(rng.Intn(5)), handler(i, 0))
+			}
+			// Drain in deliberately awkward budgets (1, 2, 3, ... events) so
+			// Run exits inside a cycle's batch repeatedly.
+			for budget := uint64(1); k.Pending() > 0 && budget < 64; budget++ {
+				k.Run(budget)
+			}
+			k.Run(0)
+			return got
+		}
+		refStamps := workload(NewReferenceKernel())
+		gotStamps := workload(NewKernel())
+		compareStamps(t, "batch straddle", refStamps, gotStamps)
+	}
+}
+
+// TestKernelBatchDrainZeroAllocs guards the batch drain path: once the
+// node arena is warm, draining dense same-cycle FIFOs — including
+// handlers appending into the draining cycle — allocates nothing.
+func TestKernelBatchDrainZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	fns := make([]func(), 64)
+	for i := range fns {
+		i := i
+		fns[i] = func() {
+			if i%4 == 0 {
+				k.After(0, func() {}) // join the currently-draining batch
+			}
+		}
+	}
+	load := func() {
+		for _, fn := range fns {
+			k.After(1, fn)
+		}
+		k.Run(0)
+	}
+	load() // warm the arena, ring, and closure pool
+	avg := testing.AllocsPerRun(100, load)
+	if avg != 0 {
+		t.Errorf("batch drain allocates %.2f/run, want 0", avg)
+	}
+}
+
 // TestWheelResetMidRunMatchesReference resets both kernels while events
 // are still pending (the slow clearing path) and requires the following
 // fresh workload to replay identically — seq restart included.
