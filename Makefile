@@ -7,17 +7,32 @@ SHELL := /bin/bash
 # BENCH_OUT names the trajectory point `make bench` records. Bump the PR
 # number when landing a perf PR so the old point stays committed next to
 # the new one and bench-check can diff them.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 
-.PHONY: check fmt vet build test race bench benchsmoke bench-check determinism profile
+.PHONY: check fmt vet build test race bench benchsmoke bench-check determinism fuzzsmoke cover profile
 
 # check is the full gate: formatting, vet, build, the test suite under
 # the race detector (the sweep engine is explicitly designed and tested
-# to be race-clean), the end-to-end determinism smoke, a one-iteration
+# to be race-clean), the end-to-end determinism smoke, a short fuzz leg
+# over the reader-vector and pattern-key oracles, a one-iteration
 # benchmark smoke run so the benches cannot silently rot, and the
 # bench-history regression check over the committed BENCH_PR<N>.json
 # records.
-check: fmt vet build race determinism benchsmoke bench-check
+check: fmt vet build race determinism fuzzsmoke benchsmoke bench-check
+
+# fuzzsmoke runs the differential fuzz targets briefly on every gate:
+# the reader-vector ops against the map-backed oracle and the packed
+# pattern-key encoding against its bijection/table oracle. Five seconds
+# each is a smoke test, not a campaign — run `go test -fuzz` with a
+# longer -fuzztime for real exploration; the corpus persists under the
+# build cache either way.
+fuzzsmoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReaderVec -fuzztime=5s ./internal/mem
+	$(GO) test -run='^$$' -fuzz=FuzzPatKeyPack -fuzztime=5s ./internal/core
+
+# cover prints per-package statement coverage over the full test suite.
+cover:
+	$(GO) test -cover ./...
 
 # determinism byte-compares a reduced-scale full paperrepro run at
 # -parallel 1 vs -parallel 8: the sweep engine's ordered-merge contract

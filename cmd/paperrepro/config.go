@@ -12,7 +12,7 @@ import (
 
 // experiments lists the -only values in presentation order.
 var experiments = []string{
-	"table1", "table2", "characterize", "fig6", "rtl",
+	"table1", "table2", "characterize", "fig6", "rtl", "scaling",
 	"fig7", "fig8", "table3", "table4", "fig9", "table5",
 }
 
@@ -53,7 +53,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 		progress = fs.Bool("progress", false, "log per-simulation completion progress (with ETA) to stderr")
 		cpuprof  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
-		ckpt     = fs.String("checkpoint", "", "checkpoint studies to this base path (one file per study: PATH.predictor, PATH.speculation, PATH.seeds, PATH.rtl)")
+		ckpt     = fs.String("checkpoint", "", "checkpoint studies to this base path (one file per study: PATH.predictor, PATH.speculation, PATH.seeds, PATH.rtl, PATH.scaling)")
 		resume   = fs.Bool("resume", false, "resume from -checkpoint files left by an interrupted run")
 		ckEvery  = fs.Int("checkpoint-every", 0, "flush the checkpoint every N completed simulations (0 = default cadence)")
 		crash    = fs.Int("crash-after", 0, "crash-injection test hook: exit(3) after N completed simulations")

@@ -35,7 +35,7 @@ func TestConfidencePassesStablePatterns(t *testing.T) {
 	}
 	feed(p, obs(MsgWrite, 0))
 	rp, ok := p.PredictReaders(blk)
-	if !ok || rp.Readers != mem.VecOf(1, 2) {
+	if !ok || !rp.Readers.Equal(mem.VecOf(1, 2)) {
 		t.Fatalf("stable pattern should pass the gate: %v ok=%v", rp.Readers, ok)
 	}
 }
@@ -51,7 +51,7 @@ func TestConfidenceZeroIsPaperBehaviour(t *testing.T) {
 	feed(plain, obs(MsgWrite, 0))
 	g, gok := gated.PredictReaders(blk)
 	q, qok := plain.PredictReaders(blk)
-	if gok != qok || g.Readers != q.Readers {
+	if gok != qok || !g.Readers.Equal(q.Readers) {
 		t.Fatalf("threshold 0 must match ungated behaviour: %v/%v vs %v/%v", g.Readers, gok, q.Readers, qok)
 	}
 }

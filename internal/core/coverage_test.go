@@ -35,11 +35,11 @@ func TestSymbolAndTypeStrings(t *testing.T) {
 		Symbol{Type: MsgRead, Node: 3}.String():              "<Read,P3>",
 		Symbol{Type: MsgRead, Vec: mem.VecOf(1, 2)}.String(): "<Read,{1,2}>",
 		Symbol{Type: MsgUpgrade, Node: 7}.String():           "<Upgrade,P7>",
-		Symbol{}.String():                                            "<-,P0>",
-		Symbol{Type: MsgAckInv, Node: 1}.String():                    "<ack,P1>",
-		Symbol{Type: MsgWriteback, Node: 2}.String():                 "<writeback,P2>",
-		Symbol{Type: MsgType(42), Node: 0}.String():                  "<MsgType(42),P0>",
-		Symbol{Type: MsgWrite, Node: mem.NodeID(5), Vec: 0}.String(): "<Write,P5>",
+		Symbol{}.String():                                                          "<-,P0>",
+		Symbol{Type: MsgAckInv, Node: 1}.String():                                  "<ack,P1>",
+		Symbol{Type: MsgWriteback, Node: 2}.String():                               "<writeback,P2>",
+		Symbol{Type: MsgType(42), Node: 0}.String():                                "<MsgType(42),P0>",
+		Symbol{Type: MsgWrite, Node: mem.NodeID(5), Vec: mem.ReaderVec{}}.String(): "<Write,P5>",
 	}
 	for got, want := range cases {
 		if got != want {
@@ -127,7 +127,7 @@ func TestPredictsUpgradeByEdgeCases(t *testing.T) {
 
 func TestAssumeReadersEdgeCases(t *testing.T) {
 	p := NewMSP(1)
-	p.AssumeReaders(blk, 0) // empty vector: no-op, no allocation needed
+	p.AssumeReaders(blk, mem.ReaderVec{}) // empty vector: no-op, no allocation needed
 	if c := p.Census(); c.Blocks != 0 {
 		t.Fatal("empty assume must not allocate")
 	}

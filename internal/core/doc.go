@@ -32,11 +32,13 @@
 //     block, so table lookups never build heap keys.
 //   - All pattern entries of a predictor live in one entryStore, laid out
 //     structure-of-arrays: parallel slices for the pattern key, the
-//     16-byte hot record (the packed prediction — tn holds Type|Node<<8,
-//     vec the reader vector, together a bijection of the Symbol it
-//     replaces, validity tn&0xff != 0 — plus the confidence/SWI meta
-//     byte), and the accuracy counters. The scoring loop reads only the
-//     hot array — it never drags the stats or key arrays into cache.
+//     16-byte hot record (the packed prediction — tn holds
+//     Type|Node<<symTypeBits, vec the reader vector's inline word or, on
+//     machines wider than mem.InlineNodes, its id in the store's vector
+//     interner, together a bijection of the Symbol it replaces, validity
+//     tn&symTypeMask != 0 — plus the confidence/SWI meta byte), and the
+//     accuracy counters. The scoring loop reads only the hot array — it
+//     never drags the stats or key arrays into cache.
 //     Lookup goes through patTable, an open-addressed pattern-key index
 //     whose tagged probes reject mismatches on one byte and confirm on
 //     the key in entryStore.keys.

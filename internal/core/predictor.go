@@ -214,18 +214,18 @@ func (rp ReadPrediction) Prune(n mem.NodeID) {
 	for i := int32(0); i < rp.n; i++ {
 		idx := rp.entryAt(i)
 		tn := s.hot[idx].tn
-		if MsgType(tn&0xff) != MsgRead {
+		if tnType(tn) != MsgRead {
 			continue
 		}
-		if vec := mem.ReaderVec(s.hot[idx].vec); vec != 0 {
+		if vec := s.vecAt(s.hot[idx].vec); !vec.Empty() {
 			vec = vec.Without(n)
 			if vec.Empty() {
-				s.setPred(idx, Symbol{})
+				s.clearPred(idx)
 			} else {
-				s.hot[idx].vec = uint64(vec)
+				s.hot[idx].vec = s.vecID(vec)
 			}
-		} else if mem.NodeID(tn>>8) == n {
-			s.setPred(idx, Symbol{})
+		} else if tnNode(tn) == n {
+			s.clearPred(idx)
 		}
 	}
 }

@@ -133,7 +133,7 @@ func TestStaleHandlesAfterResetAreNoOps(t *testing.T) {
 		t.Error("stale MarkPremature leaked into the re-learned write pattern")
 	}
 	rp2, ok := p.PredictReaders(blk)
-	if !ok || rp2.Readers != mem.VecOf(1, 2) {
+	if !ok || !rp2.Readers.Equal(mem.VecOf(1, 2)) {
 		t.Errorf("stale Prune leaked into re-learned prediction: %v ok=%v", rp2.Readers, ok)
 	}
 }

@@ -32,6 +32,41 @@ type entryStore struct {
 	hot   []entryHot
 	stats []entryStats
 	gen   uint32
+	// vecs is the reader-vector interner, non-nil only on wide predictors
+	// (machines with more than mem.InlineNodes nodes). Narrow predictors
+	// store the vector's inline word directly in entryHot.vec/patKey.vec —
+	// today's exact layout — while wide predictors store a dense intern id
+	// there (see vecID).
+	vecs *vecIntern
+}
+
+// vecID packs a reader vector into the uint64 an entry/key slot holds:
+// the raw inline word on narrow predictors, a content-interned id on wide
+// ones. Either way the packing is a bijection of the vector value, which
+// is what keeps packed-word equality equivalent to set equality.
+func (s *entryStore) vecID(v mem.ReaderVec) uint64 {
+	if s.vecs == nil {
+		return v.LowWord()
+	}
+	return s.vecs.id(v)
+}
+
+// vecIDIfPresent is vecID for predict-only paths: it reports ok = false
+// instead of interning a never-seen wide vector (no table entry can pack a
+// vector that was never learned, so the lookup it feeds must miss anyway).
+func (s *entryStore) vecIDIfPresent(v mem.ReaderVec) (uint64, bool) {
+	if s.vecs == nil {
+		return v.LowWord(), true
+	}
+	return s.vecs.lookup(v)
+}
+
+// vecAt is the inverse of vecID.
+func (s *entryStore) vecAt(id uint64) mem.ReaderVec {
+	if s.vecs == nil {
+		return mem.VecFromLow(id)
+	}
+	return s.vecs.at(id)
 }
 
 // entryHot packs the per-entry words every scoring/predict path reads.
@@ -58,10 +93,11 @@ const (
 // confMax saturates the 2-bit confidence counter.
 const confMax = 3
 
-// alloc appends a new entry predicting sym for key and returns its index.
-func (s *entryStore) alloc(key patternKey, sym Symbol) int32 {
+// alloc appends a new entry predicting (tn, vid) for key and returns its
+// index. tn/vid are the pack()/vecID packings of the predicted symbol.
+func (s *entryStore) alloc(key patternKey, tn uint16, vid uint64) int32 {
 	s.keys = append(s.keys, key)
-	s.hot = append(s.hot, entryHot{tn: sym.pack(), vec: uint64(sym.Vec)})
+	s.hot = append(s.hot, entryHot{tn: tn, vec: vid})
 	s.stats = append(s.stats, entryStats{})
 	return int32(len(s.keys) - 1)
 }
@@ -73,21 +109,27 @@ func (s *entryStore) len() int { return len(s.keys) }
 func (s *entryStore) pred(i int32) Symbol {
 	h := &s.hot[i]
 	return Symbol{
-		Type: MsgType(h.tn & 0xff),
-		Node: mem.NodeID(h.tn >> 8),
-		Vec:  mem.ReaderVec(h.vec),
+		Type: tnType(h.tn),
+		Node: tnNode(h.tn),
+		Vec:  s.vecAt(h.vec),
 	}
 }
 
-// setPred replaces entry i's predicted symbol.
-func (s *entryStore) setPred(i int32, sym Symbol) {
-	s.hot[i].tn = sym.pack()
-	s.hot[i].vec = uint64(sym.Vec)
+// setPred replaces entry i's predicted symbol with the packed (tn, vid).
+func (s *entryStore) setPred(i int32, tn uint16, vid uint64) {
+	s.hot[i].tn = tn
+	s.hot[i].vec = vid
+}
+
+// clearPred erases entry i's prediction (MsgInvalid, empty vector).
+func (s *entryStore) clearPred(i int32) {
+	s.hot[i].tn = 0
+	s.hot[i].vec = 0
 }
 
 // predValid reports whether entry i holds a real prediction (the packed
-// type byte is non-zero exactly when Type != MsgInvalid).
-func (s *entryStore) predValid(i int32) bool { return s.hot[i].tn&0xff != 0 }
+// type bits are non-zero exactly when Type != MsgInvalid).
+func (s *entryStore) predValid(i int32) bool { return s.hot[i].tn&symTypeMask != 0 }
 
 // conf returns entry i's confidence counter.
 func (s *entryStore) conf(i int32) uint8 { return s.hot[i].meta & metaConfMask }
@@ -111,6 +153,95 @@ func (s *entryStore) reset() {
 	s.hot = s.hot[:0]
 	s.stats = s.stats[:0]
 	s.gen++
+	if s.vecs != nil {
+		s.vecs.reset()
+	}
+}
+
+// vecIntern assigns dense ids to distinct wide reader vectors so that
+// pattern keys and entries can keep holding one comparable uint64 per
+// vector slot at any machine width. Ids are issued in first-seen order by
+// a single-threaded predictor, so they are deterministic for a given
+// observation sequence; id 0 is reserved for the empty vector. Interned
+// vectors are immutable (ReaderVec mutations copy-on-write), so at() can
+// hand them out without cloning. The table is an open-addressed
+// content-hash index over the dense vecs slice, reset clear-but-retain
+// like patTable.
+type vecIntern struct {
+	slots []int32 // dense index + 1; 0 = empty slot
+	vecs  []mem.ReaderVec
+}
+
+// lookup returns the id for v if it was interned before.
+func (t *vecIntern) lookup(v mem.ReaderVec) (uint64, bool) {
+	if v.Empty() {
+		return 0, true
+	}
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := v.Hash() & mask; ; i = (i + 1) & mask {
+		s := t.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		if t.vecs[s-1].Equal(v) {
+			return uint64(s), true
+		}
+	}
+}
+
+// id returns the id for v, interning it on first sight.
+func (t *vecIntern) id(v mem.ReaderVec) uint64 {
+	if id, ok := t.lookup(v); ok {
+		return id
+	}
+	if len(t.slots)*3 < (len(t.vecs)+1)*4 { // grow beyond 3/4 load
+		t.grow()
+	}
+	t.vecs = append(t.vecs, v)
+	id := int32(len(t.vecs))
+	mask := uint64(len(t.slots) - 1)
+	i := v.Hash() & mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = id
+	return uint64(id)
+}
+
+// at returns the vector for id (the inverse of id).
+func (t *vecIntern) at(id uint64) mem.ReaderVec {
+	if id == 0 {
+		return mem.ReaderVec{}
+	}
+	return t.vecs[id-1]
+}
+
+// grow doubles the slot array (or allocates the initial one) and
+// reinserts every interned vector; ids are dense indices, so nothing an
+// entry holds moves.
+func (t *vecIntern) grow() {
+	newLen := 64
+	if len(t.slots) > 0 {
+		newLen = len(t.slots) * 2
+	}
+	t.slots = make([]int32, newLen)
+	mask := uint64(newLen - 1)
+	for idx := range t.vecs {
+		i := t.vecs[idx].Hash() & mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = int32(idx + 1)
+	}
+}
+
+// reset empties the interner, retaining its storage.
+func (t *vecIntern) reset() {
+	clear(t.slots)
+	t.vecs = t.vecs[:0]
 }
 
 // patTable is the open-addressed (addr, history) → entry-index table that

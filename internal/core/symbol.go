@@ -85,22 +85,38 @@ type Symbol struct {
 
 // Equal reports exact symbol equality.
 func (s Symbol) Equal(o Symbol) bool {
-	return s.Type == o.Type && s.Node == o.Node && s.Vec == o.Vec
+	return s.Type == o.Type && s.Node == o.Node && s.Vec.Equal(o.Vec)
 }
 
 // Valid reports whether the symbol holds a real observation.
 func (s Symbol) Valid() bool { return s.Type != MsgInvalid }
 
 func (s Symbol) String() string {
-	if s.Type == MsgRead && s.Vec != 0 {
+	if s.Type == MsgRead && !s.Vec.Empty() {
 		return fmt.Sprintf("<Read,%v>", s.Vec)
 	}
 	return fmt.Sprintf("<%v,P%d>", s.Type, s.Node)
 }
 
-// pack encodes the symbol's (type, node) pair into one 16-bit pattern-key
-// slot: type in the low byte, node in the high byte. The reader vector is
-// carried separately in the key (see patKey in twolevel.go).
-func (s Symbol) pack() uint16 {
-	return uint16(s.Type) | uint16(s.Node)<<8
+// Packed (type, node) layout for one 16-bit pattern-key slot: the message
+// type in the low symTypeBits bits, the node id in the remaining 12 (wide
+// enough for mem.MaxNodes-1). The reader vector is carried separately in
+// the key (see patKey in twolevel.go).
+const (
+	symTypeBits = 4
+	symTypeMask = 1<<symTypeBits - 1
+)
+
+// packTN encodes a (type, node) pair into one pattern-key slot.
+func packTN(t MsgType, n mem.NodeID) uint16 {
+	return uint16(t) | uint16(n)<<symTypeBits
 }
+
+// tnType extracts the message type from a packed slot.
+func tnType(tn uint16) MsgType { return MsgType(tn & symTypeMask) }
+
+// tnNode extracts the node id from a packed slot.
+func tnNode(tn uint16) mem.NodeID { return mem.NodeID(tn >> symTypeBits) }
+
+// pack encodes the symbol's (type, node) pair into one pattern-key slot.
+func (s Symbol) pack() uint16 { return packTN(s.Type, s.Node) }

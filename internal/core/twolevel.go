@@ -41,10 +41,12 @@ const MaxDepth = 4
 // A pattern key packs up to MaxDepth history symbols into one fixed-size
 // comparable value instead of a heap-allocated string:
 //
-//   - tn holds the (type, node) pair of slot i in bits [16i, 16i+16)
-//     (type in the low byte, node in the high byte);
-//   - vec[i] holds slot i's reader vector (non-zero only for VMSP
-//     read-run symbols).
+//   - tn holds the packed (type, node) pair of slot i in bits
+//     [16i, 16i+16) (see packTN in symbol.go);
+//   - vec[i] holds slot i's reader vector, packed through entryStore.vecID
+//     (the raw inline word on narrow machines, a dense intern id on wide
+//     ones — either way a bijection of the vector value). Non-zero only
+//     for VMSP read-run symbols.
 //
 // Slot 0 is the oldest symbol. Unused slots are zero; since every pushed
 // symbol has Type != MsgInvalid (= 0), histories of different lengths can
@@ -63,18 +65,18 @@ type patKey struct {
 	vec [MaxDepth]uint64
 }
 
-// push appends symbol s to a history holding have symbols at the given
-// depth, shifting out the oldest symbol when full. It returns the new
-// symbol count.
-func (k *patKey) push(s Symbol, have, depth int) int {
+// push appends a packed symbol (tn slot word, vecID-packed vector) to a
+// history holding have symbols at the given depth, shifting out the
+// oldest symbol when full. It returns the new symbol count.
+func (k *patKey) push(tn uint16, vid uint64, have, depth int) int {
 	if have == depth {
 		k.tn >>= 16
 		copy(k.vec[:depth-1], k.vec[1:depth])
 		k.vec[depth-1] = 0
 		have--
 	}
-	k.tn |= uint64(s.pack()) << (16 * uint(have))
-	k.vec[have] = uint64(s.Vec)
+	k.tn |= uint64(tn) << (16 * uint(have))
+	k.vec[have] = vid
 	return have + 1
 }
 
@@ -105,8 +107,8 @@ type blockState struct {
 	lastWrite int32
 }
 
-func (bs *blockState) push(s Symbol, depth int) {
-	bs.n = uint8(bs.key.push(s, int(bs.n), depth))
+func (bs *blockState) push(tn uint16, vid uint64, depth int) {
+	bs.n = uint8(bs.key.push(tn, vid, int(bs.n), depth))
 }
 
 // TwoLevel is the shared two-level adaptive predictor engine. It is
@@ -133,20 +135,33 @@ type TwoLevel struct {
 }
 
 // New constructs a predictor of the given kind with history depth d (the
-// paper evaluates d = 1, 2, 4; at most MaxDepth is supported).
+// paper evaluates d = 1, 2, 4; at most MaxDepth is supported) for a
+// machine of at most mem.InlineNodes nodes.
 func New(kind Kind, depth int) *TwoLevel {
+	return NewSized(kind, depth, mem.InlineNodes)
+}
+
+// NewSized is New for a machine of the given node count (≤ mem.MaxNodes).
+// Predictors sized beyond mem.InlineNodes nodes intern reader vectors
+// behind dense ids (see entryStore.vecID); narrow ones keep the exact
+// single-word layout, so NewSized(k, d, n≤64) is observably identical to
+// New(k, d).
+func NewSized(kind Kind, depth, nodes int) *TwoLevel {
 	if depth < 1 {
 		panic(fmt.Sprintf("core: history depth %d < 1", depth))
 	}
 	if depth > MaxDepth {
 		panic(fmt.Sprintf("core: history depth %d > MaxDepth %d", depth, MaxDepth))
 	}
+	if nodes < 1 || nodes > mem.MaxNodes {
+		panic(fmt.Sprintf("core: node count %d out of range [1, %d]", nodes, mem.MaxNodes))
+	}
 	// The containers are pre-sized for a typical per-node working set so
 	// that cold-path table growth costs a handful of allocations instead
 	// of a full doubling chain per structure (sizing only; behaviour and
 	// contents are unchanged).
 	const presize = 256
-	return &TwoLevel{
+	p := &TwoLevel{
 		kind:        kind,
 		depth:       depth,
 		blockStates: make([]blockState, 0, 128),
@@ -156,8 +171,13 @@ func New(kind Kind, depth int) *TwoLevel {
 			hot:   make([]entryHot, 0, presize),
 			stats: make([]entryStats, 0, presize),
 		},
-		maxChain: mem.MaxNodes,
+		maxChain: mem.InlineNodes,
 	}
+	if nodes > mem.InlineNodes {
+		p.store.vecs = &vecIntern{}
+		p.maxChain = nodes
+	}
+	return p
 }
 
 // NewCosmos returns the general message predictor baseline.
@@ -278,10 +298,10 @@ func (p *TwoLevel) observeVMSP(addr mem.BlockAddr, bs *blockState, obs Observati
 				out.Predicted = true
 				s.stats[idx].uses++
 				h := &s.hot[idx]
-				// tn&0xff == MsgRead with Node 0 is how a vector symbol
-				// packs, but membership is what scores a VMSP read.
-				if MsgType(h.tn&0xff) == MsgRead &&
-					mem.ReaderVec(h.vec).Has(obs.Node) && !bs.open.Has(obs.Node) {
+				// A read type with Node 0 is how a vector symbol packs,
+				// but membership is what scores a VMSP read.
+				if tnType(h.tn) == MsgRead &&
+					s.vecAt(h.vec).Has(obs.Node) && !bs.open.Has(obs.Node) {
 					out.Correct = true
 					s.stats[idx].hits++
 					s.confUp(idx)
@@ -301,7 +321,7 @@ func (p *TwoLevel) observeVMSP(addr mem.BlockAddr, bs *blockState, obs Observati
 	if !bs.open.Empty() {
 		vec := Symbol{Type: MsgRead, Vec: bs.open}
 		p.learn(addr, bs, vec)
-		bs.open = 0
+		bs.open = mem.ReaderVec{}
 	}
 	sym := Symbol{Type: obs.Type, Node: obs.Node}
 	out := p.scoreAndLearn(addr, bs, sym)
@@ -313,6 +333,7 @@ func (p *TwoLevel) observeVMSP(addr mem.BlockAddr, bs *blockState, obs Observati
 // records sym as that history's new prediction and pushes it.
 func (p *TwoLevel) scoreAndLearn(addr mem.BlockAddr, bs *blockState, sym Symbol) Outcome {
 	out := Outcome{Tracked: true}
+	tn, vid := sym.pack(), p.store.vecID(sym.Vec)
 	pk := patternKey{addr, bs.key}
 	idx, ok := p.table.lookup(p.store, pk)
 	if ok {
@@ -321,8 +342,8 @@ func (p *TwoLevel) scoreAndLearn(addr mem.BlockAddr, bs *blockState, sym Symbol)
 			out.Predicted = true
 			s.stats[idx].uses++
 			// Packed equality: (type, node) word and vector word match ⟺
-			// Symbol.Equal, since pack() is a bijection.
-			if h := &s.hot[idx]; h.tn == sym.pack() && h.vec == uint64(sym.Vec) {
+			// Symbol.Equal, since pack() and vecID are bijections.
+			if h := &s.hot[idx]; h.tn == tn && h.vec == vid {
 				out.Correct = true
 				s.stats[idx].hits++
 				s.confUp(idx)
@@ -330,28 +351,29 @@ func (p *TwoLevel) scoreAndLearn(addr mem.BlockAddr, bs *blockState, sym Symbol)
 				s.confDown(idx)
 			}
 		}
-		s.setPred(idx, sym)
+		s.setPred(idx, tn, vid)
 	} else {
-		idx = p.store.alloc(pk, sym)
+		idx = p.store.alloc(pk, tn, vid)
 		p.table.insert(p.store, pk, idx)
 	}
 	if sym.Type.IsWriteLike() {
 		bs.lastWrite = idx
 	}
-	bs.push(sym, p.depth)
+	bs.push(tn, vid, p.depth)
 	return out
 }
 
 // learn records sym as the successor of the current history without
 // scoring (used when closing VMSP read runs).
 func (p *TwoLevel) learn(addr mem.BlockAddr, bs *blockState, sym Symbol) {
+	tn, vid := sym.pack(), p.store.vecID(sym.Vec)
 	pk := patternKey{addr, bs.key}
 	if idx, ok := p.table.lookup(p.store, pk); ok {
-		p.store.setPred(idx, sym)
+		p.store.setPred(idx, tn, vid)
 	} else {
-		p.table.insert(p.store, pk, p.store.alloc(pk, sym))
+		p.table.insert(p.store, pk, p.store.alloc(pk, tn, vid))
 	}
-	bs.push(sym, p.depth)
+	bs.push(tn, vid, p.depth)
 }
 
 // PredictNext implements Predictor: the predicted successor of the
@@ -391,8 +413,8 @@ func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
 			return ReadPrediction{}, false
 		}
 		s := p.store
-		vec := mem.ReaderVec(s.hot[idx].vec)
-		if MsgType(s.hot[idx].tn&0xff) != MsgRead || vec.Empty() || !p.confident(idx) {
+		vec := s.vecAt(s.hot[idx].vec)
+		if tnType(s.hot[idx].tn) != MsgRead || vec.Empty() || !p.confident(idx) {
 			return ReadPrediction{}, false
 		}
 		rp := ReadPrediction{Readers: vec, store: s, gen: s.gen}
@@ -410,16 +432,17 @@ func (p *TwoLevel) PredictReaders(addr mem.BlockAddr) (ReadPrediction, bool) {
 		if !ok {
 			break
 		}
-		pred := p.store.pred(idx)
-		if pred.Type != MsgRead || !pred.Valid() || !p.confident(idx) {
+		h := &p.store.hot[idx]
+		if tnType(h.tn) != MsgRead || !p.confident(idx) {
 			break
 		}
-		if rp.Readers.Has(pred.Node) {
+		node := tnNode(h.tn)
+		if rp.Readers.Has(node) {
 			break
 		}
-		rp.Readers = rp.Readers.With(pred.Node)
+		rp.Readers = rp.Readers.With(node)
 		rp.addEntry(idx)
-		n = key.push(pred, n, p.depth)
+		n = key.push(h.tn, h.vec, n, p.depth)
 	}
 	if rp.Readers.Empty() {
 		return ReadPrediction{}, false
@@ -439,7 +462,14 @@ func (p *TwoLevel) PredictsUpgradeBy(addr mem.BlockAddr, reader mem.NodeID) bool
 	}
 	key := bs.key
 	if p.kind == KindVMSP {
-		key.push(Symbol{Type: MsgRead, Vec: bs.open.With(reader)}, int(bs.n), p.depth)
+		// A run vector that was never learned cannot key any entry, so a
+		// missing intern id is already a miss (vecIDIfPresent avoids
+		// interning vectors on this predict-only path).
+		vid, ok := p.store.vecIDIfPresent(bs.open.With(reader))
+		if !ok {
+			return false
+		}
+		key.push(packTN(MsgRead, 0), vid, int(bs.n), p.depth)
 	}
 	idx, ok := p.table.lookup(p.store, patternKey{addr, key})
 	if !ok {
@@ -449,7 +479,7 @@ func (p *TwoLevel) PredictsUpgradeBy(addr mem.BlockAddr, reader mem.NodeID) bool
 		return false
 	}
 	tn := p.store.hot[idx].tn
-	return MsgType(tn&0xff).IsWriteLike() && mem.NodeID(tn>>8) == reader
+	return tnType(tn).IsWriteLike() && tnNode(tn) == reader
 }
 
 // SWIAllowed implements Predictor.
@@ -476,7 +506,7 @@ func (p *TwoLevel) AssumeReaders(addr mem.BlockAddr, vec mem.ReaderVec) {
 	}
 	bs := p.block(addr)
 	if p.kind == KindVMSP {
-		bs.open |= vec
+		bs.open = bs.open.Union(vec)
 		return
 	}
 	for w := vec; !w.Empty(); {

@@ -250,7 +250,7 @@ func TestPredictReadersVMSP(t *testing.T) {
 		t.Fatal("expected read prediction after learned upgrade")
 	}
 	want := mem.VecOf(1, 2)
-	if rp.Readers != want {
+	if !rp.Readers.Equal(want) {
 		t.Fatalf("Readers = %v, want %v", rp.Readers, want)
 	}
 }
@@ -265,7 +265,7 @@ func TestPredictReadersMSPChains(t *testing.T) {
 		t.Fatal("expected chained read prediction")
 	}
 	want := mem.VecOf(1, 2)
-	if rp.Readers != want {
+	if !rp.Readers.Equal(want) {
 		t.Fatalf("chained Readers = %v, want %v", rp.Readers, want)
 	}
 }
@@ -362,14 +362,14 @@ func TestAssumeAndRetractReaders(t *testing.T) {
 	// speculatively so no read requests reach the directory.
 	feed(p, obs(MsgUpgrade, 3))
 	rp, ok := p.PredictReaders(blk)
-	if !ok || rp.Readers != mem.VecOf(1, 2) {
+	if !ok || !rp.Readers.Equal(mem.VecOf(1, 2)) {
 		t.Fatalf("prediction = %v ok=%v", rp.Readers, ok)
 	}
 	p.AssumeReaders(blk, rp.Readers)
 	// Next upgrade closes the assumed run; the read pattern must survive.
 	feed(p, obs(MsgUpgrade, 3))
 	rp2, ok := p.PredictReaders(blk)
-	if !ok || rp2.Readers != mem.VecOf(1, 2) {
+	if !ok || !rp2.Readers.Equal(mem.VecOf(1, 2)) {
 		t.Fatalf("pattern lost after assumed run: %v ok=%v", rp2.Readers, ok)
 	}
 
@@ -381,7 +381,7 @@ func TestAssumeAndRetractReaders(t *testing.T) {
 	rp2.Prune(2)
 	feed(p, obs(MsgUpgrade, 3))
 	rp4, ok := p.PredictReaders(blk)
-	if !ok || rp4.Readers != mem.VecOf(1) {
+	if !ok || !rp4.Readers.Equal(mem.VecOf(1)) {
 		t.Fatalf("after retract+prune prediction = %v ok=%v", rp4.Readers, ok)
 	}
 }

@@ -93,8 +93,10 @@ func (s PredictorSpec) String() string {
 	return fmt.Sprintf("%v(d=%d)", s.Kind, s.Depth)
 }
 
-func (s PredictorSpec) build() *core.TwoLevel {
-	p := core.New(s.Kind, s.Depth)
+// build instantiates the predictor for a machine of the given node count
+// (wide machines need vector-interning predictors; see core.NewSized).
+func (s PredictorSpec) build(nodes int) *core.TwoLevel {
+	p := core.NewSized(s.Kind, s.Depth, nodes)
 	p.SetConfidenceThreshold(s.Confidence)
 	return p
 }
@@ -234,12 +236,12 @@ func New(cfg Config) *Machine {
 	for i := 0; i < cfg.Nodes; i++ {
 		var obs []core.Predictor
 		for _, spec := range cfg.Observers {
-			obs = append(obs, spec.build())
+			obs = append(obs, spec.build(cfg.Nodes))
 		}
 		m.observers[i] = obs
 		var active core.Predictor
 		if cfg.Active != nil {
-			active = cfg.Active.build()
+			active = cfg.Active.build(cfg.Nodes)
 			m.actives[i] = active
 		}
 		opts[i] = protocol.Options{

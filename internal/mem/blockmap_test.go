@@ -18,7 +18,7 @@ func randAddrs(n int) []BlockAddr {
 		if rng.Intn(2) == 0 {
 			idx = uint64(rng.Intn(1024))
 		} else {
-			idx = rng.Uint64() & (1<<56 - 1)
+			idx = rng.Uint64() & (1<<52 - 1)
 		}
 		addrs = append(addrs, MakeAddr(home, idx))
 	}
@@ -48,7 +48,7 @@ func TestBlockMapAgainstReferenceMap(t *testing.T) {
 	}
 	// Probe absent addresses (including near-collisions of present ones).
 	for _, addr := range randAddrs(5000) {
-		probe := MakeAddr(addr.Home(), addr.Index()^(1<<55))
+		probe := MakeAddr(addr.Home(), addr.Index()^(1<<51))
 		_, wantOK := ref[probe]
 		if _, ok := bm.Get(probe); ok != wantOK {
 			t.Fatalf("Get(%v) present=%v, want %v", probe, ok, wantOK)

@@ -8,11 +8,28 @@
 //
 // Key invariants:
 //
-//   - A BlockAddr embeds its home node in the top byte, so home lookup is
+//   - A BlockAddr embeds its home node in its top bits, so home lookup is
 //     a shift, not a table walk, at every layer.
-//   - ReaderVec is one machine word (MaxNodes = 64); set algebra on sharer
-//     lists and VMSP read-run symbols is branch-free bit arithmetic, and
-//     Lowest gives closure-free ascending iteration for hot paths.
+//   - ReaderVec is a two-tier reader set. The inline tier is one machine
+//     word covering nodes 0..63 (InlineNodes), so at the paper's machine
+//     sizes set algebra on sharer lists and VMSP read-run symbols stays
+//     branch-free bit arithmetic on a single uint64 and mutation never
+//     allocates. Beyond that a hierarchical extension covers up to
+//     MaxNodes = 4096 nodes: a summary word whose bit g mirrors group g's
+//     occupancy over up to 63 leaf words, so Count/Lowest/iteration skip
+//     empty groups instead of scanning them.
+//   - The extension obeys three structural invariants that make values
+//     canonical: ext is nil if and only if no member ≥ InlineNodes exists
+//     (mutators prune on the way down), a summary bit is set if and only
+//     if its leaf word is non-zero, and summary bit 0 is never set (group
+//     0 is the inline word). Canonical form means set equality is
+//     structural — Equal compares the inline word and, at most, one
+//     fixed-size extension block.
+//   - The extension is copy-on-write: mutators clone it before writing,
+//     so ReaderVec values can be freely copied, shared, and stored in
+//     history tables like the plain word they replaced. Wide-set mutation
+//     pays one bounded allocation; the narrow tier's zero-allocation
+//     guarantee is unchanged and enforced by allocation-counting tests.
 //   - BlockMap is the canonical block-keyed lookup structure for per-block
 //     state kept inline in dense slices (the directory's entries, the
 //     cache's lines): an insert-only open-addressed table mapping

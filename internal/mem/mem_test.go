@@ -50,8 +50,8 @@ func TestMakeAddrPanicsOnHugeIndex(t *testing.T) {
 }
 
 func TestAddrRoundTripQuick(t *testing.T) {
-	f := func(home uint8, idx uint64) bool {
-		h := NodeID(home % MaxNodes)
+	f := func(home uint16, idx uint64) bool {
+		h := NodeID(home) % MaxNodes
 		i := idx % (1 << homeShift)
 		a := MakeAddr(h, i)
 		return a.Home() == h && a.Index() == i
@@ -117,13 +117,13 @@ func TestReaderVecString(t *testing.T) {
 	if got := VecOf(0, 2).String(); got != "{0,2}" {
 		t.Fatalf("String() = %q", got)
 	}
-	if got := ReaderVec(0).String(); got != "{}" {
+	if got := (ReaderVec{}).String(); got != "{}" {
 		t.Fatalf("empty String() = %q", got)
 	}
 }
 
 func TestReaderVecHasOutOfRange(t *testing.T) {
-	if ReaderVec(0xFFFFFFFFFFFFFFFF).Has(NoNode) {
+	if VecFromLow(0xFFFFFFFFFFFFFFFF).Has(NoNode) {
 		t.Fatal("Has(NoNode) must be false")
 	}
 }
@@ -132,8 +132,8 @@ func TestReaderVecHasOutOfRange(t *testing.T) {
 // Count tracks membership exactly.
 func TestReaderVecQuick(t *testing.T) {
 	f := func(raw uint64, n uint8) bool {
-		v := ReaderVec(raw)
-		node := NodeID(n % MaxNodes)
+		v := VecFromLow(raw)
+		node := NodeID(n) % MaxNodes
 		with := v.With(node)
 		if !with.Has(node) {
 			return false
@@ -157,7 +157,7 @@ func TestReaderVecQuick(t *testing.T) {
 // Property: ForEach visits exactly the Nodes() set in the same order.
 func TestReaderVecForEachMatchesNodes(t *testing.T) {
 	f := func(raw uint64) bool {
-		v := ReaderVec(raw)
+		v := VecFromLow(raw)
 		var visited []NodeID
 		v.ForEach(func(n NodeID) { visited = append(visited, n) })
 		nodes := v.Nodes()

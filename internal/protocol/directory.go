@@ -64,10 +64,21 @@ type trans struct {
 	sawSpecRef  bool
 }
 
-type queuedReq struct {
-	kind mem.ReqKind
-	src  mem.NodeID
+// queuedReq is a waiting request packed into one word — request kind in
+// the low bits, source node above, mirroring internal/core's symbol
+// packing — so a wait-queue element stays two bytes at any machine
+// width (a kind+NodeID struct doubled when NodeID widened, and bigger
+// elements mean earlier append growth on the per-entry queues).
+type queuedReq uint16
+
+const qreqKindBits = 4 // 3 request kinds; 12 bits above fit mem.MaxNodes-1
+
+func packReq(kind mem.ReqKind, src mem.NodeID) queuedReq {
+	return queuedReq(kind) | queuedReq(src)<<qreqKindBits
 }
+
+func (q queuedReq) kind() mem.ReqKind { return mem.ReqKind(q & (1<<qreqKindBits - 1)) }
+func (q queuedReq) src() mem.NodeID   { return mem.NodeID(q >> qreqKindBits) }
 
 // specPend records one node holding an unverified speculative copy,
 // together with the prediction that produced it. The per-entry list
@@ -417,7 +428,7 @@ func (d *directory) processRequest(src mem.NodeID, kind mem.ReqKind, addr mem.Bl
 	ei := d.entryIdx(addr)
 	if d.hot[ei].tr != nil {
 		d.stats.QueuedReqs++
-		d.pushWait(ei, queuedReq{kind: kind, src: src})
+		d.pushWait(ei, packReq(kind, src))
 		return
 	}
 	d.serve(addr, ei, kind, src)
@@ -579,7 +590,7 @@ func (d *directory) grantExclusive(addr mem.BlockAddr, ei int32, src mem.NodeID,
 	h.version++
 	h.state = dirExclusive
 	h.owner = src
-	h.sharers = 0
+	h.sharers = mem.ReaderVec{}
 	v := h.version
 	d.n.sys.noteVersion(addr, v)
 	if viaUpgradeAck {
@@ -608,7 +619,7 @@ func (d *directory) finish(addr mem.BlockAddr, ei int32) {
 			return
 		}
 		q := d.popWait(ei)
-		d.serve(addr, ei, q.kind, q.src)
+		d.serve(addr, ei, q.kind(), q.src())
 	}
 }
 
@@ -680,7 +691,7 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 		}
 		h.state = dirIdle
 		h.owner = mem.NoNode
-		h.sharers = 0
+		h.sharers = mem.ReaderVec{}
 		return
 	}
 	if h.owner != src {
@@ -703,7 +714,7 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 		req := h.tr.requester
 		d.endTrans(h)
 		h.state = dirIdle
-		h.sharers = 0
+		h.sharers = mem.ReaderVec{}
 		// Migratory sharing arrives through this recall path: if the
 		// predictor expects the reader to upgrade next, grant exclusively
 		// (speculative upgrade extension).
@@ -728,12 +739,12 @@ func (d *directory) processWriteback(src mem.NodeID, m Msg) {
 	case transWriteRecall:
 		req, reqKind := h.tr.requester, h.tr.reqKind
 		h.state = dirIdle
-		h.sharers = 0
+		h.sharers = mem.ReaderVec{}
 		d.grantExclusive(m.Addr, ei, req, reqKind, false)
 	case transSWI:
 		d.endTrans(h)
 		h.state = dirIdle
-		h.sharers = 0
+		h.sharers = mem.ReaderVec{}
 		h.flags |= dfSWIWatch
 		d.cold[ei].swiOwner = src
 		d.startTrans(h, trans{kind: transGrant})
@@ -779,7 +790,7 @@ func (d *directory) tryLocalFastPath(addr mem.BlockAddr, isWrite bool) (uint64, 
 	h.version++
 	h.state = dirExclusive
 	h.owner = self
-	h.sharers = 0
+	h.sharers = mem.ReaderVec{}
 	d.n.sys.noteVersion(addr, h.version)
 	return h.version, true
 }

@@ -57,7 +57,7 @@ func (d *directory) specForward(addr mem.BlockAddr, ei int32, exclude mem.Reader
 		return
 	}
 	h := &d.hot[ei]
-	targets := rp.Readers &^ exclude &^ h.sharers
+	targets := rp.Readers.AndNot(exclude).AndNot(h.sharers)
 	if targets.Empty() {
 		return
 	}

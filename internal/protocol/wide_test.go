@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"testing"
+
+	"specdsm/internal/mem"
+)
+
+// wideNodes spreads readers across both reader-vector tiers: inline
+// (< 64) and extension (≥ 64) groups, including group boundaries.
+var wideNodes = []mem.NodeID{1, 63, 64, 65, 90, 127}
+
+// TestWideSharerSetInvalidation exercises the full-map protocol with
+// sharers beyond the inline tier on a 128-node system: every reader gets
+// a copy, the directory tracks all of them, an upgrade invalidates them
+// all, and the post-run audit (quiescence + cache/directory consistency)
+// passes — the kernel-level N > 64 safety check.
+func TestWideSharerSetInvalidation(t *testing.T) {
+	h := newHarness(t, 128)
+	addr := mem.MakeAddr(100, 0) // homed beyond the inline tier
+	h.write(64, addr)            // exclusive owner in extension group 1
+	for _, n := range wideNodes {
+		h.read(n, addr)
+	}
+	view := h.sys.InspectEntry(addr)
+	want := mem.VecOf(wideNodes...).With(64)
+	if !view.Sharers.Equal(want) {
+		t.Fatalf("sharers = %v, want %v", view.Sharers, want)
+	}
+	out := h.write(65, addr) // upgrade path: invalidate every other sharer
+	if out.Class == ClassHit {
+		t.Fatalf("write by sharer 65 = %+v, want a protocol transaction", out)
+	}
+	view = h.sys.InspectEntry(addr)
+	if !view.Sharers.Empty() || view.Owner != 65 {
+		t.Fatalf("after upgrade: sharers %v owner %d, want empty/65", view.Sharers, view.Owner)
+	}
+	h.finish()
+}
+
+// TestWideSystemResetEquivalence mirrors the narrow reset-equivalence
+// contract at N = 128: a reset system must serve the same access pattern
+// with the same latencies and stats as a fresh one.
+func TestWideSystemResetEquivalence(t *testing.T) {
+	run := func(h *harness) []AccessOutcome {
+		var outs []AccessOutcome
+		addr := mem.MakeAddr(127, 3)
+		outs = append(outs, h.write(80, addr))
+		for _, n := range wideNodes {
+			outs = append(outs, h.access(n, false, addr))
+		}
+		outs = append(outs, h.write(1, addr))
+		h.finish()
+		return outs
+	}
+	fresh := newHarness(t, 128)
+	reused := newHarness(t, 128)
+	// Dirty the reused system with different traffic, then reset.
+	reused.write(100, mem.MakeAddr(5, 9))
+	reused.read(64, mem.MakeAddr(5, 9))
+	reused.finish()
+	reused.sys.Reset()
+	a, b := run(fresh), run(reused)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	fs, rs := fresh.sys.NetworkStats(), reused.sys.NetworkStats()
+	if fs != rs {
+		t.Fatalf("network stats diverged: %+v vs %+v", fs, rs)
+	}
+}

@@ -15,12 +15,12 @@ import (
 type Event struct {
 	// Cycle is the directory processing time.
 	Cycle int64 `json:"c"`
-	// Addr encodes the block (home node in the top byte).
+	// Addr encodes the block (home node in the top bits, see mem.MakeAddr).
 	Addr uint64 `json:"a"`
 	// Type is the message type (core.MsgType numeric value).
 	Type uint8 `json:"t"`
 	// Node is the message source.
-	Node uint8 `json:"n"`
+	Node uint16 `json:"n"`
 }
 
 // Trace is a captured run.
@@ -74,7 +74,7 @@ func (r *Recorder) Observe(addr mem.BlockAddr, obs core.Observation) core.Outcom
 		Cycle: cycle,
 		Addr:  uint64(addr),
 		Type:  uint8(obs.Type),
-		Node:  uint8(obs.Node),
+		Node:  uint16(obs.Node),
 	})
 	return core.Outcome{}
 }

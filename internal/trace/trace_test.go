@@ -24,7 +24,7 @@ func sampleTrace() *Trace {
 			Cycle: int64(i * 10),
 			Addr:  uint64(blocks[rng.Intn(len(blocks))]),
 			Type:  uint8(types[rng.Intn(len(types))]),
-			Node:  uint8(rng.Intn(4)),
+			Node:  uint16(rng.Intn(4)),
 		})
 	}
 	return t

@@ -240,7 +240,7 @@ func (b *build) perm(n int) []int { return b.rng.Perm(n) }
 
 // pickOthers selects k distinct nodes other than excl.
 func (b *build) pickOthers(k int, excl mem.NodeID) []mem.NodeID {
-	var pool []mem.NodeID
+	pool := make([]mem.NodeID, 0, b.nodes)
 	for n := 0; n < b.nodes; n++ {
 		if mem.NodeID(n) != excl {
 			pool = append(pool, mem.NodeID(n))

@@ -238,6 +238,9 @@ type RunResult struct {
 	// Finite-cache mode.
 	Evictions          uint64
 	EvictionWritebacks uint64
+	// NetMsgs counts interconnect messages sent (the traffic metric of
+	// the node-scaling study).
+	NetMsgs uint64
 	// Predictor measurements (observers, then active last if present).
 	Predictors []PredictorResult
 	Events     uint64
@@ -384,6 +387,7 @@ func convert(w Workload, mode Mode, cfg machine.Config, res *machine.Result) *Ru
 		SpecUpgradeMisfires: res.Dir.SpecUpgradeMisfires,
 		Evictions:           res.Cache.Evictions,
 		EvictionWritebacks:  res.Cache.EvictionWritebacks,
+		NetMsgs:             res.Network.Sent,
 		Events:              res.Events,
 	}
 	for _, spec := range cfg.Observers {

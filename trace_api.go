@@ -6,6 +6,7 @@ import (
 
 	"specdsm/internal/core"
 	"specdsm/internal/machine"
+	"specdsm/internal/mem"
 	"specdsm/internal/trace"
 )
 
@@ -77,7 +78,11 @@ func evaluateTrace(tr *trace.Trace, configs []PredictorConfig) ([]PredictorResul
 		if c.Depth < 1 || c.Depth > core.MaxDepth {
 			return nil, TraceSummary{}, fmt.Errorf("specdsm: predictor depth %d out of range [1,%d]", c.Depth, core.MaxDepth)
 		}
-		preds = append(preds, core.New(k, c.Depth))
+		nodes := tr.Nodes
+		if nodes < mem.InlineNodes {
+			nodes = mem.InlineNodes
+		}
+		preds = append(preds, core.NewSized(k, c.Depth, nodes))
 		specs = append(specs, machine.PredictorSpec{Kind: k, Depth: c.Depth})
 	}
 	trace.Replay(tr, preds...)
