@@ -9,26 +9,38 @@ SHELL := /bin/bash
 # the new one and bench-check can diff them.
 BENCH_OUT ?= BENCH_PR8.json
 
-.PHONY: check fmt vet build test race bench benchsmoke bench-check determinism fuzzsmoke cover profile
+.PHONY: check fmt vet build test race bench benchsmoke bench-check determinism chaos fuzzsmoke cover profile
 
 # check is the full gate: formatting, vet, build, the test suite under
 # the race detector (the sweep engine is explicitly designed and tested
-# to be race-clean), the end-to-end determinism smoke, a short fuzz leg
-# over the reader-vector and pattern-key oracles, a one-iteration
-# benchmark smoke run so the benches cannot silently rot, and the
-# bench-history regression check over the committed BENCH_PR<N>.json
-# records.
-check: fmt vet build race determinism fuzzsmoke benchsmoke bench-check
+# to be race-clean), the end-to-end determinism smoke, the chaos
+# harness (kill + corrupt + salvage-resume under injected faults), a
+# short fuzz leg over the reader-vector, pattern-key, and checkpoint
+# decoders, a one-iteration benchmark smoke run so the benches cannot
+# silently rot, and the bench-history regression check over the
+# committed BENCH_PR<N>.json records.
+check: fmt vet build race determinism chaos fuzzsmoke benchsmoke bench-check
+
+# chaos runs the kill/corrupt/salvage harness with more rounds than the
+# copy `go test ./...` runs: checkpointed fig9 sweeps are crashed at
+# derived kill points under injected transient faults and delays, their
+# checkpoints corrupted (tail truncation or a frame bit flip), and the
+# -resume-salvage rerun must reproduce a clean -parallel 1 run byte for
+# byte. Rounds are derived from their index, so failures replay exactly.
+chaos:
+	$(GO) test -run='^TestChaos$$' -v ./cmd/paperrepro -args -chaos-rounds=8
 
 # fuzzsmoke runs the differential fuzz targets briefly on every gate:
-# the reader-vector ops against the map-backed oracle and the packed
-# pattern-key encoding against its bijection/table oracle. Five seconds
-# each is a smoke test, not a campaign — run `go test -fuzz` with a
-# longer -fuzztime for real exploration; the corpus persists under the
-# build cache either way.
+# the reader-vector ops against the map-backed oracle, the packed
+# pattern-key encoding against its bijection/table oracle, and the
+# checkpoint decoder's strict-vs-salvage verdict consistency. Five
+# seconds each is a smoke test, not a campaign — run `go test -fuzz`
+# with a longer -fuzztime for real exploration; the corpus persists
+# under the build cache either way.
 fuzzsmoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReaderVec -fuzztime=5s ./internal/mem
 	$(GO) test -run='^$$' -fuzz=FuzzPatKeyPack -fuzztime=5s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzCheckpointFrames -fuzztime=5s ./internal/sweep
 
 # cover prints per-package statement coverage over the full test suite.
 cover:

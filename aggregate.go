@@ -3,6 +3,7 @@ package specdsm
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"specdsm/internal/machine"
 	"specdsm/internal/report"
@@ -19,6 +20,9 @@ type Figure9Aggregate struct {
 	FRStd   float64
 	SWIMean float64
 	SWIStd  float64
+	// Failed counts (seed, app) cells dropped from the aggregate because
+	// at least one of their mode runs failed under KeepGoing.
+	Failed int
 }
 
 // SpeculationStudySeeds repeats the speculation study across seeds and
@@ -46,13 +50,39 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 	if err != nil {
 		return nil, err
 	}
+	p, err := cfg.pool(n)
+	if err != nil {
+		return nil, err
+	}
 	var fr, swi report.Grouped
+	failed := map[string]int{}
 	// triple is the assembly window: the ordered merge delivers runs
-	// (seed, app, mode)-major, so every nModes emissions complete one
+	// (seed, app, mode)-major, so every nModes deliveries complete one
 	// (seed, app) cell, which normalizes against its own Base run and
-	// folds into that application's accumulators.
-	triple := make([]*RunResult, 0, nModes)
-	err = sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
+	// folds into that application's accumulators. Under KeepGoing a cell
+	// with any failed mode is counted and skipped instead of folded.
+	triple := make([]modeRun, 0, nModes)
+	push := func(j int, r *RunResult, errText string) error {
+		triple = append(triple, modeRun{r: r, errText: errText})
+		if len(triple) < nModes {
+			return nil
+		}
+		app := cfg.Apps[(j/nModes)%nApps]
+		if tripleFailure(triple) != "" {
+			failed[app]++
+		} else {
+			base := float64(triple[0].r.Cycles)
+			fr.Add(app, float64(triple[1].r.Cycles)/base*100)
+			swi.Add(app, float64(triple[2].r.Cycles)/base*100)
+		}
+		triple = triple[:0]
+		return nil
+	}
+	var fail sweep.FailFunc
+	if cfg.KeepGoing {
+		fail = func(j int, jerr error) error { return push(j, nil, jerr.Error()) }
+	}
+	err = sweep.StreamCheckpointFail(context.Background(), p, n, ck, machine.NewArena,
 		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
 			wp := cfg.workloadParams()
 			wp.Seed = seeds[j/(nApps*nModes)]
@@ -68,29 +98,26 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 				DisableChecks: cfg.DisableChecks,
 			})
 		},
-		func(j int, r *RunResult) error {
-			triple = append(triple, r)
-			if len(triple) < nModes {
-				return nil
-			}
-			app := cfg.Apps[(j/nModes)%nApps]
-			base := float64(triple[0].Cycles)
-			fr.Add(app, float64(triple[1].Cycles)/base*100)
-			swi.Add(app, float64(triple[2].Cycles)/base*100)
-			triple = triple[:0]
-			return nil
-		})
+		func(j int, r *RunResult) error { return push(j, r, "") },
+		fail)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Figure9Aggregate, 0, nApps)
-	for _, app := range fr.Keys() {
+	for _, app := range cfg.Apps {
 		f, s := fr.Get(app), swi.Get(app)
+		if f == nil {
+			if failed[app] > 0 {
+				out = append(out, Figure9Aggregate{App: app, Failed: failed[app]})
+			}
+			continue
+		}
 		out = append(out, Figure9Aggregate{
 			App:    app,
 			Seeds:  int(f.N()),
 			FRMean: f.Mean(), FRStd: f.Std(),
 			SWIMean: s.Mean(), SWIStd: s.Std(),
+			Failed: failed[app],
 		})
 	}
 	return out, nil
@@ -100,10 +127,19 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 func RenderFigure9Aggregate(rows []Figure9Aggregate) string {
 	t := report.NewTable("Figure 9 across seeds: normalized execution time, mean ± std",
 		"Application", "Seeds", "FR-DSM", "SWI-DSM")
+	var failed int
 	for _, r := range rows {
+		failed += r.Failed
+		if r.Seeds == 0 {
+			t.AddRow(r.App, "0", "FAILED", "FAILED")
+			continue
+		}
 		t.AddRow(r.App, fmt.Sprint(r.Seeds),
 			fmt.Sprintf("%5.1f ± %4.1f", r.FRMean, r.FRStd),
 			fmt.Sprintf("%5.1f ± %4.1f", r.SWIMean, r.SWIStd))
+	}
+	if failed > 0 {
+		t.AddNote("%d (seed, app) cell(s) dropped: at least one mode run failed", failed)
 	}
 	return t.String()
 }
@@ -120,6 +156,9 @@ type RTLPoint struct {
 	SWICycles  int64
 	// Speedup is Base/SWI.
 	Speedup float64
+	// Failed marks a keep-going FAILED point (per-mode error text); the
+	// cycle counts and speedup are zero.
+	Failed string
 }
 
 // RTLSweep measures SWI-DSM's benefit as the interconnect slows down —
@@ -166,8 +205,36 @@ func RTLSweepStream(cfg StudyConfig, app string, p WorkloadParams, flights []int
 	if err != nil {
 		return err
 	}
-	var base *RunResult // pending Base run of the current flight pair
-	return sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
+	pool, err := cfg.pool(n)
+	if err != nil {
+		return err
+	}
+	// pair is the assembly window for the current flight's {Base, SWI}
+	// runs; under KeepGoing a pair with any failed run emits a FAILED
+	// point instead of a ratio.
+	pair := make([]modeRun, 0, 2)
+	push := func(j int, r *RunResult, errText string) error {
+		pair = append(pair, modeRun{r: r, errText: errText})
+		if len(pair) < 2 {
+			return nil
+		}
+		i, f := j/2, flights[j/2]
+		pt := RTLPoint{Flight: f, RTL: (258 + 2*float64(f)) / 104}
+		if ft := rtlFailure(pair); ft != "" {
+			pt.Failed = ft
+		} else {
+			pt.BaseCycles = pair[0].r.Cycles
+			pt.SWICycles = pair[1].r.Cycles
+			pt.Speedup = float64(pair[0].r.Cycles) / float64(pair[1].r.Cycles)
+		}
+		pair = pair[:0]
+		return emit(i, pt)
+	}
+	var fail sweep.FailFunc
+	if cfg.KeepGoing {
+		fail = func(j int, jerr error) error { return push(j, nil, jerr.Error()) }
+	}
+	return sweep.StreamCheckpointFail(context.Background(), pool, n, ck, machine.NewArena,
 		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
 			mode := ModeBase
 			if j%2 == 1 {
@@ -175,20 +242,24 @@ func RTLSweepStream(cfg StudyConfig, app string, p WorkloadParams, flights []int
 			}
 			return runInArena(arena, w, MachineOptions{Mode: mode, NetworkFlight: flights[j/2], DisableChecks: true})
 		},
-		func(j int, r *RunResult) error {
-			if j%2 == 0 {
-				base = r
-				return nil
-			}
-			i, f := j/2, flights[j/2]
-			return emit(i, RTLPoint{
-				Flight:     f,
-				RTL:        (258 + 2*float64(f)) / 104,
-				BaseCycles: base.Cycles,
-				SWICycles:  r.Cycles,
-				Speedup:    float64(base.Cycles) / float64(r.Cycles),
-			})
-		})
+		func(j int, r *RunResult) error { return push(j, r, "") },
+		fail)
+}
+
+// rtlFailure joins the failed modes of an assembled {Base, SWI} pair.
+func rtlFailure(pair []modeRun) string {
+	var parts []string
+	for k, e := range pair {
+		if e.errText == "" {
+			continue
+		}
+		mode := ModeBase
+		if k == 1 {
+			mode = ModeSWI
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", mode, e.errText))
+	}
+	return strings.Join(parts, "; ")
 }
 
 // RenderRTLSweep prints the sweep.
@@ -197,6 +268,11 @@ func RenderRTLSweep(app string, points []RTLPoint) string {
 		fmt.Sprintf("Empirical rtl sweep (%s): SWI-DSM speedup vs interconnect latency", app),
 		"flight (cycles)", "rtl", "Base cycles", "SWI cycles", "speedup")
 	for _, p := range points {
+		if p.Failed != "" {
+			t.AddRow(fmt.Sprint(p.Flight), report.F1(p.RTL), "FAILED", "FAILED", "FAILED")
+			t.AddNote("flight %d failed: %s", p.Flight, p.Failed)
+			continue
+		}
 		t.AddRow(fmt.Sprint(p.Flight), report.F1(p.RTL),
 			fmt.Sprint(p.BaseCycles), fmt.Sprint(p.SWICycles),
 			fmt.Sprintf("%.2fx", p.Speedup))
@@ -224,6 +300,8 @@ type AppCharacterization struct {
 	MigratoryBlocks int
 	Barriers        int
 	Locks           int
+	// Failed marks a keep-going FAILED row; every count is zero.
+	Failed string
 }
 
 // Characterize statically analyzes the generated programs of each app.
@@ -232,7 +310,19 @@ type AppCharacterization struct {
 // the cfg.Parallel-wide worker pool.
 func Characterize(cfg StudyConfig) ([]AppCharacterization, error) {
 	cfg = cfg.withDefaults()
-	return sweep.Map(context.Background(), cfg.pool(len(cfg.Apps)), len(cfg.Apps),
+	p, err := cfg.pool(len(cfg.Apps))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AppCharacterization, 0, len(cfg.Apps))
+	emit := func(_ int, c AppCharacterization) error {
+		out = append(out, c)
+		return nil
+	}
+	fail := failRow(cfg, emit, func(i int, errText string) AppCharacterization {
+		return AppCharacterization{App: cfg.Apps[i], Failed: errText}
+	})
+	err = sweep.StreamFail(context.Background(), p, len(cfg.Apps),
 		func(_ context.Context, i int) (AppCharacterization, error) {
 			name := cfg.Apps[i]
 			app, ok := workload.ByName(name)
@@ -246,7 +336,12 @@ func Characterize(cfg StudyConfig) ([]AppCharacterization, error) {
 				Seed:       cfg.Seed,
 			})
 			return characterize(name, progs), nil
-		})
+		},
+		emit, fail)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func characterize(name string, progs []machine.Program) AppCharacterization {
@@ -314,6 +409,13 @@ func RenderCharacterization(rows []AppCharacterization) string {
 		"Application", "ops", "reads", "writes", "blocks", "shared",
 		"read deg (mean/max)", "migratory", "barriers", "locks")
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.AddRow(r.App,
+				"FAILED", "FAILED", "FAILED", "FAILED", "FAILED",
+				"FAILED", "FAILED", "FAILED", "FAILED")
+			t.AddNote("%s failed: %s", r.App, r.Failed)
+			continue
+		}
 		t.AddRow(r.App,
 			fmt.Sprint(r.Ops), fmt.Sprint(r.Reads), fmt.Sprint(r.Writes),
 			fmt.Sprint(r.Blocks), fmt.Sprint(r.SharedBlocks),

@@ -55,7 +55,11 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 		memprof  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		ckpt     = fs.String("checkpoint", "", "checkpoint studies to this base path (one file per study: PATH.predictor, PATH.speculation, PATH.seeds, PATH.rtl, PATH.scaling)")
 		resume   = fs.Bool("resume", false, "resume from -checkpoint files left by an interrupted run")
+		salvage  = fs.Bool("resume-salvage", false, "like -resume, but truncate a corrupted checkpoint to its longest valid prefix instead of failing")
 		ckEvery  = fs.Int("checkpoint-every", 0, "flush the checkpoint every N completed simulations (0 = default cadence)")
+		retries  = fs.Int("retries", 0, "retry budget per simulation for transient failures (0 = fail fast)")
+		keep     = fs.Bool("keep-going", false, "record fatally failed simulations as FAILED rows and continue instead of aborting")
+		faults   = fs.String("faults", "", "fault-injection spec for robustness testing, e.g. seed=7,transient=0.2,panic=0.01,delay=0.5 (see internal/fault)")
 		crash    = fs.Int("crash-after", 0, "crash-injection test hook: exit(3) after N completed simulations")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,11 +82,18 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 			Iterations:      *iters,
 			Parallel:        *parallel,
 			CheckpointPath:  *ckpt,
-			Resume:          *resume,
+			Resume:          *resume || *salvage,
+			Salvage:         *salvage,
 			CheckpointEvery: *ckEvery,
+			Retries:         *retries,
+			KeepGoing:       *keep,
+			FaultSpec:       *faults,
 		},
 	}
 	if o.Cfg.Resume && o.Cfg.CheckpointPath == "" {
+		if o.Cfg.Salvage {
+			return options{}, fmt.Errorf("paperrepro: -resume-salvage requires -checkpoint")
+		}
 		return options{}, fmt.Errorf("paperrepro: -resume requires -checkpoint")
 	}
 	if o.Cfg.CheckpointEvery < 0 {

@@ -188,3 +188,48 @@ func TestParseOptionsParallelOne(t *testing.T) {
 		t.Fatalf("Parallel = %d, want 1 (sequential reproduction mode)", o.Cfg.Parallel)
 	}
 }
+
+func TestParseOptionsFailureFlags(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cfg.Retries != 0 || o.Cfg.KeepGoing || o.Cfg.Salvage || o.Cfg.FaultSpec != "" {
+		t.Fatalf("failure knobs must default off, got %+v", o.Cfg)
+	}
+	o, err = parseOptions([]string{
+		"-checkpoint", "run.ck", "-resume-salvage",
+		"-retries", "3", "-keep-going", "-faults", "seed=7,transient=0.2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Cfg.Retries != 3 || !o.Cfg.KeepGoing || o.Cfg.FaultSpec != "seed=7,transient=0.2" {
+		t.Fatalf("failure flags not threaded into cfg: %+v", o.Cfg)
+	}
+	if !o.Cfg.Salvage || !o.Cfg.Resume {
+		t.Fatalf("-resume-salvage must imply Resume, got %+v", o.Cfg)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"salvage without checkpoint", []string{"-resume-salvage"}, "-resume-salvage requires -checkpoint"},
+		{"negative retries", []string{"-retries", "-1"}, "retry"},
+		{"bad fault spec", []string{"-faults", "transient=wat"}, "fault"},
+		{"unknown fault knob", []string{"-faults", "frobnicate=1"}, "fault"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v: expected error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want substring %q", err, tc.frag)
+			}
+		})
+	}
+}

@@ -17,6 +17,14 @@
 //	                           # persist completed simulations to ck.<study>
 //	paperrepro -checkpoint ck -resume
 //	                           # continue an interrupted run from ck.<study>
+//	paperrepro -checkpoint ck -resume-salvage
+//	                           # like -resume, but truncate a corrupted
+//	                           # checkpoint to its longest valid prefix
+//	paperrepro -retries 3      # retry transiently failed simulations
+//	paperrepro -keep-going     # record fatal failures as FAILED rows
+//	                           # (plus a manifest) instead of aborting
+//	paperrepro -faults seed=7,transient=0.2
+//	                           # deterministic fault injection (testing)
 //
 // Simulated results depend only on the flags (runs are deterministic):
 // the sweep engine merges parallel simulation results back in submission
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"specdsm"
+	"specdsm/internal/sweep"
 )
 
 func main() {
@@ -56,6 +65,20 @@ func main() {
 	err = run(o)
 	if perr := stopProfiles(); err == nil {
 		err = perr
+	}
+	var km *sweep.KeyMismatchError
+	if errors.As(err, &km) {
+		// The checkpoint is intact but belongs to a different study
+		// configuration — name the differing parameters and the fix
+		// instead of dumping raw keys. Exit 2 distinguishes "wrong
+		// invocation" from runtime failure (1).
+		fmt.Fprintf(os.Stderr, "paperrepro: checkpoint %s was recorded under different study parameters:\n", km.Path)
+		for _, line := range km.Diff() {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		fmt.Fprintf(os.Stderr, "fix: rerun with the flags listed above, or remove %s to start this configuration fresh\n", km.Path)
+		fmt.Fprintln(os.Stderr, "(-resume-salvage repairs corruption, not configuration changes; it would refuse too)")
+		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,6 +127,28 @@ func startProfiles(o options) (stop func() error, err error) {
 
 func run(o options) error {
 	cfg := o.Cfg
+	// failed collects keep-going FAILED jobs across studies, in study
+	// then job-index order; the manifest prints once after the tables so
+	// a long run ends with an explicit list of what did not complete.
+	var failed []string
+	note := func(format string, args ...any) {
+		failed = append(failed, fmt.Sprintf(format, args...))
+	}
+	manifest := func() {
+		if len(failed) == 0 {
+			return
+		}
+		fmt.Printf("FAILED jobs (%d, kept going):\n", len(failed))
+		for _, f := range failed {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if cfg.Salvage {
+		cfg.OnSalvage = func(study string, rep sweep.SalvageReport) {
+			fmt.Fprintf(os.Stderr, "paperrepro: checkpoint %s.%s: salvaged %d rows, dropped %d bytes (%s)\n",
+				cfg.CheckpointPath, study, rep.Rows, rep.DroppedBytes, rep.Reason)
+		}
+	}
 	if o.Progress {
 		// Per-simulation completion lines with ETA on stderr (stdout
 		// carries only the reproduced tables/figures, byte-identical
@@ -137,6 +182,11 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		for _, r := range rows {
+			if r.Failed != "" {
+				note("characterize %s: %s", r.App, r.Failed)
+			}
+		}
 		fmt.Println(specdsm.RenderCharacterization(rows))
 	}
 	if o.want("fig6") {
@@ -148,6 +198,9 @@ func run(o options) error {
 		err := specdsm.RTLSweepStream(cfg, "em3d", specdsm.WorkloadParams{
 			Nodes: cfg.Nodes, Scale: cfg.Scale, Seed: cfg.Seed, Iterations: cfg.Iterations,
 		}, nil, func(_ int, p specdsm.RTLPoint) error {
+			if p.Failed != "" {
+				note("rtl flight %d: %s", p.Flight, p.Failed)
+			}
 			points = append(points, p)
 			return nil
 		})
@@ -155,6 +208,7 @@ func run(o options) error {
 			return err
 		}
 		fmt.Println(specdsm.RenderRTLSweep("em3d", points))
+		manifest()
 		fmt.Printf("[rtl sweep: %v]\n", time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -164,6 +218,9 @@ func run(o options) error {
 		start := time.Now()
 		var rows []specdsm.NodeScaling
 		err := specdsm.NodeScalingStudyStream(cfg, nil, func(_ int, r specdsm.NodeScaling) error {
+			if r.Failed != "" {
+				note("scaling %s @ %d nodes: %s", r.App, r.Nodes, r.Failed)
+			}
 			rows = append(rows, r)
 			return nil
 		})
@@ -171,6 +228,7 @@ func run(o options) error {
 			return err
 		}
 		fmt.Println(specdsm.RenderNodeScaling(rows))
+		manifest()
 		fmt.Printf("[scaling study: %v]\n", time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -181,7 +239,13 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		for _, a := range agg {
+			if a.Failed > 0 {
+				note("seeds %s: %d (seed, app) cell(s) failed", a.App, a.Failed)
+			}
+		}
 		fmt.Println(specdsm.RenderFigure9Aggregate(agg))
+		manifest()
 		fmt.Printf("[multi-seed study: %v]\n", time.Since(start).Round(time.Millisecond))
 		return nil
 	}
@@ -192,6 +256,11 @@ func run(o options) error {
 		study, err := specdsm.PredictorStudy(cfg)
 		if err != nil {
 			return err
+		}
+		for _, r := range study {
+			if r.Failed != "" {
+				note("predictor %s: %s", r.App, r.Failed)
+			}
 		}
 		if o.want("fig7") {
 			fmt.Println(specdsm.RenderFigure7(specdsm.Figure7(study)))
@@ -215,6 +284,11 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		for _, r := range study {
+			if r.Failed != "" {
+				note("speculation %s: %s", r.App, r.Failed)
+			}
+		}
 		if o.want("fig9") {
 			fmt.Println(specdsm.RenderFigure9(specdsm.Figure9(study)))
 		}
@@ -223,5 +297,6 @@ func run(o options) error {
 		}
 		fmt.Printf("[speculation study: %v]\n", time.Since(start).Round(time.Millisecond))
 	}
+	manifest()
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"specdsm"
+	"specdsm/internal/fault"
 )
 
 // runSpec is the fully parsed and validated CLI configuration. Flag
@@ -22,6 +23,10 @@ type runSpec struct {
 	// Parallel sizes the worker pool for multi-app sweeps (0 = one per
 	// CPU). Output order and content are independent of it.
 	Parallel int
+	// Retries is the per-simulation retry budget for transient failures.
+	Retries int
+	// Inject arms deterministic fault injection (nil = off; testing).
+	Inject   *fault.Injector
 	TraceOut string
 	List     bool
 }
@@ -47,6 +52,8 @@ func parseRun(args []string, errOut io.Writer) (runSpec, error) {
 		observe   = fs.Bool("observe", false, "attach Cosmos/MSP/VMSP observers (d=1) and report accuracy")
 		traceOut  = fs.String("trace-out", "", "capture the coherence message trace to this file")
 		parallel  = fs.Int("parallel", 0, "concurrent simulations for multi-app runs (0 = one per CPU)")
+		retries   = fs.Int("retries", 0, "retry budget per simulation for transient failures (0 = fail fast)")
+		faults    = fs.String("faults", "", "fault-injection spec for robustness testing, e.g. seed=7,transient=0.2")
 		list      = fs.Bool("list", false, "list applications and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,8 +67,19 @@ func parseRun(args []string, errOut io.Writer) (runSpec, error) {
 		Pattern:  *pattern,
 		WP:       specdsm.WorkloadParams{Nodes: *nodes, Iterations: *iters, Scale: *scale, Seed: *seed},
 		Parallel: *parallel,
+		Retries:  *retries,
 		TraceOut: *traceOut,
 		List:     *list,
+	}
+	if s.Retries < 0 {
+		return runSpec{}, fmt.Errorf("specdsm: -retries must not be negative, got %d", s.Retries)
+	}
+	if *faults != "" {
+		inj, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return runSpec{}, fmt.Errorf("specdsm: %w", err)
+		}
+		s.Inject = inj
 	}
 	if *app != "" {
 		for _, a := range strings.Split(*app, ",") {

@@ -147,3 +147,22 @@ func TestRunMultiAppOutputMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRunFailureFlags(t *testing.T) {
+	s, err := parseRun([]string{"-app", "em3d", "-retries", "2", "-faults", "seed=5,transient=0.1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", s.Retries)
+	}
+	if s.Inject == nil {
+		t.Fatal("fault spec not parsed into an injector")
+	}
+	if _, err := parseRun([]string{"-app", "em3d", "-retries", "-1"}, io.Discard); err == nil {
+		t.Fatal("negative -retries accepted")
+	}
+	if _, err := parseRun([]string{"-app", "em3d", "-faults", "transient=wat"}, io.Discard); err == nil {
+		t.Fatal("malformed -faults accepted")
+	}
+}

@@ -70,7 +70,11 @@ func run(spec runSpec, out io.Writer) error {
 		return writeReport(out, r, workloads[0].Ops(), spec.Opts)
 	}
 
-	return sweep.Stream(context.Background(), sweep.New(spec.Parallel), len(workloads),
+	p := sweep.New(spec.Parallel)
+	p.Retries = spec.Retries
+	p.RetrySeed = uint64(spec.WP.Seed)
+	p.Inject = spec.Inject
+	return sweep.Stream(context.Background(), p, len(workloads),
 		func(_ context.Context, i int) (*specdsm.RunResult, error) {
 			return specdsm.Run(workloads[i], spec.Opts)
 		},

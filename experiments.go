@@ -10,6 +10,7 @@ import (
 
 	"specdsm/internal/analytic"
 	"specdsm/internal/core"
+	"specdsm/internal/fault"
 	"specdsm/internal/machine"
 	"specdsm/internal/sweep"
 )
@@ -62,6 +63,37 @@ type StudyConfig struct {
 	// (0 = sweep.DefaultCheckpointEvery). At most this many completed
 	// rows are lost on a crash, beyond one merge window.
 	CheckpointEvery int
+	// Retries is the per-job transient retry budget: a simulation job
+	// failing with a sweep.Transient-marked error is re-run in place up
+	// to this many more times before the failure becomes permanent.
+	// Fatal errors (including panics) are never retried. Retried sweeps
+	// whose transient faults clear within budget produce output
+	// byte-identical to a fault-free run.
+	Retries int
+	// KeepGoing records fatal job failures as explicit FAILED rows
+	// (each row type's Failed field carries the error text) instead of
+	// aborting the study: an overnight sweep returns the surviving
+	// science plus an exact re-run list. Failures occupy checkpoint
+	// frames, so a resumed keep-going sweep replays them identically.
+	KeepGoing bool
+	// Salvage makes Resume tolerate a damaged checkpoint: instead of
+	// rejecting the file, the longest valid row prefix is recovered,
+	// the damage is truncated away, and the sweep re-runs only what was
+	// lost. A checkpoint recorded under a different study key is still a
+	// hard error (sweep.KeyMismatchError). Ignored without Resume.
+	Salvage bool
+	// OnSalvage, when non-nil, is told what Salvage recovered for each
+	// study checkpoint that needed repair (it is not called for clean
+	// files). Purely informational.
+	OnSalvage func(study string, rep sweep.SalvageReport)
+	// FaultSpec, when non-empty, arms deterministic fault injection for
+	// every simulation job, in the internal/fault spec syntax, e.g.
+	// "seed=7,transient=0.2,delay=0.5". Injected transient faults
+	// compose with Retries; injected panics are fatal (KeepGoing turns
+	// them into FAILED rows). Exists for robustness testing — the chaos
+	// harness runs real studies under this knob and byte-compares their
+	// output against clean runs.
+	FaultSpec string
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -88,8 +120,9 @@ func (c StudyConfig) withDefaults() StudyConfig {
 
 // pool builds the worker pool all study drivers fan their simulation
 // jobs out on; total is the study's job count (it sizes the ETA).
-// Call on a config that already has defaults applied.
-func (c StudyConfig) pool(total int) *sweep.Pool {
+// Call on a config that already has defaults applied. An unparsable
+// FaultSpec is the only error.
+func (c StudyConfig) pool(total int) (*sweep.Pool, error) {
 	p := sweep.New(c.Parallel)
 	p.OnJobDone = c.OnJobDone
 	if c.Progress != nil {
@@ -103,7 +136,16 @@ func (c StudyConfig) pool(total int) *sweep.Pool {
 			p.OnJobDone = eta
 		}
 	}
-	return p
+	p.Retries = c.Retries
+	p.RetrySeed = uint64(c.Seed)
+	if c.FaultSpec != "" {
+		inj, err := fault.ParseSpec(c.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("specdsm: %w", err)
+		}
+		p.Inject = inj
+	}
+	return p, nil
 }
 
 // checkpoint opens the named study's checkpoint, or returns nil when
@@ -116,14 +158,39 @@ func (c StudyConfig) checkpoint(study string, jobs int, extra string) (*sweep.Ch
 	if c.CheckpointPath == "" {
 		return nil, nil
 	}
-	key := fmt.Sprintf("specdsm/%s|apps=%s|nodes=%d|iters=%d|scale=%g|seed=%d|depths=%v|checks=%t|jobs=%d%s",
+	// Retries/KeepGoing/FaultSpec are part of the key: under injected
+	// faults they decide which jobs end up as FAILED frames, so splicing
+	// rows across different settings would mix incompatible prefixes.
+	key := fmt.Sprintf("specdsm/%s|apps=%s|nodes=%d|iters=%d|scale=%g|seed=%d|depths=%v|checks=%t|retries=%d|keepgoing=%t|faults=%s|jobs=%d%s",
 		study, strings.Join(c.Apps, ","), c.Nodes, c.Iterations, c.Scale, c.Seed,
-		c.Depths, !c.DisableChecks, jobs, extra)
+		c.Depths, !c.DisableChecks, c.Retries, c.KeepGoing, c.FaultSpec, jobs, extra)
 	path := c.CheckpointPath + "." + study
-	if c.Resume {
+	switch {
+	case c.Resume && c.Salvage:
+		ck, rep, err := sweep.SalvageCheckpoint(path, key, c.CheckpointEvery)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Reason != "" && c.OnSalvage != nil {
+			c.OnSalvage(study, rep)
+		}
+		return ck, nil
+	case c.Resume:
 		return sweep.ResumeCheckpoint(path, key, c.CheckpointEvery)
+	default:
+		return sweep.OpenCheckpoint(path, key, c.CheckpointEvery)
 	}
-	return sweep.OpenCheckpoint(path, key, c.CheckpointEvery)
+}
+
+// failSink adapts a study's FAILED-row constructor into the sweep's
+// keep-going failure callback: nil (abort on first failure) unless
+// KeepGoing is set, otherwise every fatal job failure is turned into an
+// explicit row carrying the error text and emitted in index order.
+func failRow[T any](c StudyConfig, emit func(i int, row T) error, mk func(i int, errText string) T) sweep.FailFunc {
+	if !c.KeepGoing {
+		return nil
+	}
+	return func(i int, err error) error { return emit(i, mk(i, err.Error())) }
 }
 
 func (c StudyConfig) workloadParams() WorkloadParams {
@@ -143,6 +210,10 @@ type AppPrediction struct {
 	Results map[PredictorConfig]PredictorResult
 	// Requests supports normalization.
 	Reads, Writes, Upgrades uint64
+	// Failed carries the job's error text when the study ran with
+	// KeepGoing and this application's simulation failed fatally; the
+	// measurement fields are zero. Empty on success.
+	Failed string
 }
 
 // Get returns the result for (kind, depth).
@@ -171,7 +242,14 @@ func PredictorStudyStream(cfg StudyConfig, emit func(i int, row AppPrediction) e
 	if err != nil {
 		return err
 	}
-	return sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
+	pool, err := cfg.pool(n)
+	if err != nil {
+		return err
+	}
+	fail := failRow(cfg, emit, func(i int, errText string) AppPrediction {
+		return AppPrediction{App: cfg.Apps[i], Failed: errText}
+	})
+	return sweep.StreamCheckpointFail(context.Background(), pool, n, ck, machine.NewArena,
 		func(_ context.Context, arena *machine.Arena, i int) (AppPrediction, error) {
 			app := cfg.Apps[i]
 			w, err := AppWorkload(app, cfg.workloadParams())
@@ -197,7 +275,7 @@ func PredictorStudyStream(cfg StudyConfig, emit func(i int, row AppPrediction) e
 				ap.Results[PredictorConfig{Kind: pr.Kind, Depth: pr.Depth}] = pr
 			}
 			return ap, nil
-		}, emit)
+		}, emit, fail)
 }
 
 // PredictorStudy is PredictorStudyStream collected into a slice — the
@@ -221,6 +299,12 @@ type AppSpeculation struct {
 	Base *RunResult
 	FR   *RunResult
 	SWI  *RunResult
+	// Failed carries the failed mode runs' error text when the study ran
+	// with KeepGoing and any of this application's three simulations
+	// failed fatally; the run pointers are all nil then (a partial
+	// triple cannot be normalized against its own Base). Empty on
+	// success.
+	Failed string
 }
 
 // specModes is the mode column order of §7.4's comparison.
@@ -243,12 +327,34 @@ func SpeculationStudyStream(cfg StudyConfig, emit func(i int, row AppSpeculation
 	if err != nil {
 		return err
 	}
+	pool, err := cfg.pool(n)
+	if err != nil {
+		return err
+	}
 	// triple is the assembly window: the ordered merge delivers runs
 	// mode-major (apps outer, Base/FR/SWI inner), so an application's
-	// row completes every nModes emissions.
-	triple := make([]*RunResult, 0, nModes)
+	// row completes every nModes emissions. In keep-going mode a failed
+	// run occupies its slot as an error text instead of a result.
+	triple := make([]modeRun, 0, nModes)
+	push := func(j int, r *RunResult, errText string) error {
+		triple = append(triple, modeRun{r: r, errText: errText})
+		if len(triple) < nModes {
+			return nil
+		}
+		i := j / nModes
+		row := AppSpeculation{App: cfg.Apps[i], Failed: tripleFailure(triple)}
+		if row.Failed == "" {
+			row.Base, row.FR, row.SWI = triple[0].r, triple[1].r, triple[2].r
+		}
+		triple = triple[:0]
+		return emit(i, row)
+	}
+	var fail sweep.FailFunc
+	if cfg.KeepGoing {
+		fail = func(j int, err error) error { return push(j, nil, err.Error()) }
+	}
 	wp := cfg.workloadParams()
-	return sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
+	return sweep.StreamCheckpointFail(context.Background(), pool, n, ck, machine.NewArena,
 		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
 			// Workload generation is served by the process-wide cache, so
 			// the three mode runs of an application share one program set
@@ -259,16 +365,27 @@ func SpeculationStudyStream(cfg StudyConfig, emit func(i int, row AppSpeculation
 			}
 			return runInArena(arena, w, MachineOptions{Mode: specModes[j%nModes], DisableChecks: cfg.DisableChecks})
 		},
-		func(j int, r *RunResult) error {
-			triple = append(triple, r)
-			if len(triple) < nModes {
-				return nil
-			}
-			i := j / nModes
-			row := AppSpeculation{App: cfg.Apps[i], Base: triple[0], FR: triple[1], SWI: triple[2]}
-			triple = triple[:0]
-			return emit(i, row)
-		})
+		func(j int, r *RunResult) error { return push(j, r, "") },
+		fail)
+}
+
+// modeRun is one slot of a mode-major assembly window: a completed run
+// or, in keep-going mode, the error text of a failed one.
+type modeRun struct {
+	r       *RunResult
+	errText string
+}
+
+// tripleFailure summarizes a (Base, FR, SWI) window's failures, empty
+// if every mode run succeeded.
+func tripleFailure(triple []modeRun) string {
+	var fails []string
+	for k, e := range triple {
+		if e.errText != "" {
+			fails = append(fails, fmt.Sprintf("%s: %s", specModes[k], e.errText))
+		}
+	}
+	return strings.Join(fails, "; ")
 }
 
 // SpeculationStudy is SpeculationStudyStream collected into a slice,
@@ -292,12 +409,18 @@ type Figure7Row struct {
 	Cosmos float64
 	MSP    float64
 	VMSP   float64
+	// Failed marks a keep-going FAILED row; the accuracies are zero.
+	Failed string
 }
 
 // Figure7 derives the Figure 7 data from a predictor study.
 func Figure7(study []AppPrediction) []Figure7Row {
 	var out []Figure7Row
 	for _, ap := range study {
+		if ap.Failed != "" {
+			out = append(out, Figure7Row{App: ap.App, Failed: ap.Failed})
+			continue
+		}
 		out = append(out, Figure7Row{
 			App:    ap.App,
 			Cosmos: ap.Get(Cosmos, 1).Accuracy,
@@ -314,6 +437,8 @@ type Figure8Row struct {
 	App      string
 	Depths   []int
 	Accuracy map[PredictorKind][]float64 // indexed like Depths
+	// Failed marks a keep-going FAILED row; Accuracy is nil.
+	Failed string
 }
 
 // Figure8 derives the Figure 8 data from a predictor study.
@@ -323,6 +448,10 @@ func Figure8(study []AppPrediction, depths []int) []Figure8Row {
 	}
 	var out []Figure8Row
 	for _, ap := range study {
+		if ap.Failed != "" {
+			out = append(out, Figure8Row{App: ap.App, Depths: depths, Failed: ap.Failed})
+			continue
+		}
 		row := Figure8Row{App: ap.App, Depths: depths, Accuracy: make(map[PredictorKind][]float64)}
 		for _, kind := range Kinds() {
 			for _, d := range depths {
@@ -340,12 +469,18 @@ type Table3Row struct {
 	App      string
 	Coverage map[PredictorKind]float64
 	Correct  map[PredictorKind]float64
+	// Failed marks a keep-going FAILED row; the maps are nil.
+	Failed string
 }
 
 // Table3 derives the Table 3 data from a predictor study.
 func Table3(study []AppPrediction) []Table3Row {
 	var out []Table3Row
 	for _, ap := range study {
+		if ap.Failed != "" {
+			out = append(out, Table3Row{App: ap.App, Failed: ap.Failed})
+			continue
+		}
 		row := Table3Row{
 			App:      ap.App,
 			Coverage: make(map[PredictorKind]float64),
@@ -368,12 +503,18 @@ type Table4Row struct {
 	PTE1  map[PredictorKind]float64
 	PTE4  map[PredictorKind]float64
 	Bytes map[PredictorKind]float64
+	// Failed marks a keep-going FAILED row; the maps are nil.
+	Failed string
 }
 
 // Table4 derives the Table 4 data from a predictor study.
 func Table4(study []AppPrediction) []Table4Row {
 	var out []Table4Row
 	for _, ap := range study {
+		if ap.Failed != "" {
+			out = append(out, Table4Row{App: ap.App, Failed: ap.Failed})
+			continue
+		}
 		row := Table4Row{
 			App:   ap.App,
 			PTE1:  make(map[PredictorKind]float64),
@@ -399,6 +540,8 @@ type Figure9Row struct {
 	Base [2]float64
 	FR   [2]float64
 	SWI  [2]float64
+	// Failed marks a keep-going FAILED row; the splits are zero.
+	Failed string
 }
 
 // Total returns computation+request for the given mode column.
@@ -417,6 +560,10 @@ func (r Figure9Row) Total(mode Mode) float64 {
 func Figure9(study []AppSpeculation) []Figure9Row {
 	var out []Figure9Row
 	for _, as := range study {
+		if as.Failed != "" {
+			out = append(out, Figure9Row{App: as.App, Failed: as.Failed})
+			continue
+		}
 		base := float64(as.Base.Cycles)
 		split := func(r *RunResult) [2]float64 {
 			total := float64(r.Cycles) / base * 100
@@ -449,6 +596,8 @@ type Table5Row struct {
 	SWIReadMiss  float64
 	SWIInvalSent float64
 	SWIInvalMiss float64
+	// Failed marks a keep-going FAILED row; every count is zero.
+	Failed string
 }
 
 // Table5 derives the Table 5 data from a speculation study.
@@ -461,6 +610,10 @@ func Table5(study []AppSpeculation) []Table5Row {
 	}
 	var out []Table5Row
 	for _, as := range study {
+		if as.Failed != "" {
+			out = append(out, Table5Row{App: as.App, Failed: as.Failed})
+			continue
+		}
 		reads := as.Base.Reads
 		writes := as.Base.WriteLike()
 		// Misses are verification-confirmed misspeculations (invalidated
@@ -539,6 +692,14 @@ func (c StudyConfig) Validate() error {
 	for _, d := range cc.Depths {
 		if d < 1 || d > core.MaxDepth {
 			return fmt.Errorf("specdsm: invalid depth %d (supported range [1,%d])", d, core.MaxDepth)
+		}
+	}
+	if cc.Retries < 0 {
+		return fmt.Errorf("specdsm: negative retry budget %d", cc.Retries)
+	}
+	if cc.FaultSpec != "" {
+		if _, err := fault.ParseSpec(cc.FaultSpec); err != nil {
+			return fmt.Errorf("specdsm: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync/atomic"
+)
+
+// File is the write side of the checkpoint FS seam: what the checkpoint
+// writer needs from a freshly created snapshot temp file.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// ReadFile is the read side: sequential reads plus seeking past the
+// header, which is all load, replay, and copy-forward use.
+type ReadFile interface {
+	io.Reader
+	io.Seeker
+	io.Closer
+}
+
+// FS is the filesystem seam the checkpoint layer writes and reads
+// through. The production implementation is OS; NewFS wraps any FS with
+// injected I/O faults.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (ReadFile, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Lstat(name string) (fs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error)       { return os.Create(name) }
+func (osFS) Open(name string) (ReadFile, error)     { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+func (osFS) Lstat(name string) (fs.FileInfo, error) { return os.Lstat(name) }
+
+// NewFS wraps base (nil selects OS) with the injector's I/O fault
+// schedule: writes may stop short (tearing the frame being written) and
+// renames may fail. Decisions are drawn per operation from a counter,
+// so a fixed seed yields a fixed fault script over the sequence of
+// checkpoint operations. Reads are never faulted — read-side corruption
+// is exercised by mutating real files instead (see the salvage tests).
+func NewFS(in *Injector, base FS) FS {
+	if base == nil {
+		base = OS
+	}
+	return &faultFS{in: in, base: base}
+}
+
+type faultFS struct {
+	in   *Injector
+	base FS
+	op   atomic.Uint64
+}
+
+func (f *faultFS) Create(name string) (File, error) {
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *faultFS) Open(name string) (ReadFile, error) { return f.base.Open(name) }
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.in.renameFault(f.op.Add(1)) {
+		return fmt.Errorf("%w: rename %s", ErrInjected, newpath)
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error               { return f.base.Remove(name) }
+func (f *faultFS) Lstat(name string) (fs.FileInfo, error) { return f.base.Lstat(name) }
+
+// faultFile injects short writes: the fault writes a prefix of the
+// buffer through to the underlying file and then errors, leaving a torn
+// frame — exactly the state a crash mid-write leaves on disk.
+type faultFile struct {
+	fs *faultFS
+	f  File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if w.fs.in.writeFault(w.fs.op.Add(1)) {
+		n, _ := w.f.Write(p[:len(p)/2])
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, n, len(p))
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error  { return w.f.Sync() }
+func (w *faultFile) Close() error { return w.f.Close() }

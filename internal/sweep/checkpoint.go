@@ -10,39 +10,65 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
+	"strings"
+
+	"specdsm/internal/fault"
 )
 
-// Checkpoint file format (version 1). A checkpoint persists the ordered
-// prefix of rows a streaming sweep has already emitted, so an
-// interrupted sweep resumes by replaying the saved prefix and running
-// only the remaining job indices. Because emission is strictly in index
-// order, "which jobs are complete" is exactly "the first Rows() jobs" —
-// at most one merge window of out-of-order work is lost on a crash.
+// Checkpoint file format (version 2). A checkpoint persists the ordered
+// prefix of jobs a streaming sweep has already settled — emitted rows
+// and, in keep-going mode, recorded failures — so an interrupted sweep
+// resumes by replaying the saved prefix and running only the remaining
+// job indices. Because emission is strictly in index order, "which jobs
+// are settled" is exactly "the first Rows() jobs" — at most one merge
+// window of out-of-order work is lost on a crash.
 //
 // Layout (all integers little-endian):
 //
 //	magic      [8]byte  "SPDSMCKP"
-//	version    uint32   1
+//	version    uint32   2
 //	keyLen     uint32
 //	key        [keyLen]byte   study identity (name + config + job count)
-//	count      uint64   number of row records in the payload
+//	count      uint64   number of frames in the payload
 //	payloadLen uint64   payload size in bytes
-//	payloadCRC uint32   CRC-32 (IEEE) of the payload
-//	payload    count records, each: uint32 length + gob-encoded row
+//	payloadCRC uint32   CRC-32 (IEEE) of the whole payload
+//	payload    count frames, each:
+//	    len      uint32   payload byte count
+//	    kind     uint8    0 = row (gob-encoded row), 1 = failure (gob string)
+//	    frameCRC uint32   CRC-32 (IEEE) of len+kind+payload
+//	    payload  [len]byte
+//
+// Version 2 adds the per-frame kind and CRC. The kind lets a failure
+// (keep-going mode) occupy its index's slot in the prefix, so resume
+// semantics are unchanged by partial failure; the per-frame CRC lets
+// SalvageCheckpoint find the longest valid prefix of a damaged file
+// instead of rejecting it whole, which the single whole-payload CRC
+// cannot do.
 //
 // Every flush rewrites the whole snapshot to a temp file in the same
 // directory and renames it over the old one, so a crash at any moment
 // leaves either the previous complete snapshot or the new complete
-// snapshot — never a torn file. Rows pending in memory between flushes
-// are bounded by Every, and the rewrite streams the old payload from
-// disk, so checkpoint memory does not scale with the sweep size.
+// snapshot — never a torn file. Frames pending in memory between
+// flushes are bounded by Every, and the rewrite streams the old payload
+// from disk, so checkpoint memory does not scale with the sweep size.
 const (
 	ckptMagic   = "SPDSMCKP"
-	ckptVersion = 1
+	ckptVersion = 2
 )
 
+// Frame kinds.
+const (
+	frameRow  = 0 // gob-encoded result row
+	frameFail = 1 // gob-encoded error string (keep-going mode)
+)
+
+// frameOverhead is the per-frame byte cost beyond the payload:
+// len (4) + kind (1) + frameCRC (4).
+const frameOverhead = 9
+
 // DefaultCheckpointEvery is the flush cadence used when Every is zero:
-// the snapshot is rewritten after this many newly completed rows.
+// the snapshot is rewritten after this many newly settled frames.
 const DefaultCheckpointEvery = 16
 
 // Sentinel errors for checkpoint validation. All are wrapped with the
@@ -61,37 +87,140 @@ var (
 	ErrCheckpointMismatch = errors.New("checkpoint does not match this sweep")
 )
 
-// Checkpoint persists the emitted-row prefix of one streaming sweep.
-// Create one with OpenCheckpoint (fresh) or ResumeCheckpoint (continue),
-// pass it to StreamCheckpoint, and rows are appended and flushed
-// automatically. A Checkpoint is used from the merge goroutine only and
-// is not safe for concurrent use.
+// KeyMismatchError is the specific ErrCheckpointMismatch for a
+// well-formed checkpoint recorded under a different study key: the file
+// is readable, it just belongs to a different configuration. Stored and
+// Want hold the two keys; Diff explains which fields differ.
+type KeyMismatchError struct {
+	Path   string
+	Stored string // key recorded in the file
+	Want   string // key of the current sweep
+}
+
+func (e *KeyMismatchError) Error() string {
+	return fmt.Sprintf("sweep: checkpoint %s: %v: recorded for a different study/config:\n  file: %s\n  want: %s",
+		e.Path, ErrCheckpointMismatch, e.Stored, e.Want)
+}
+
+// Is makes the error satisfy errors.Is(err, ErrCheckpointMismatch).
+func (e *KeyMismatchError) Is(target error) bool { return target == ErrCheckpointMismatch }
+
+// Diff compares the two keys field by field (fields are the
+// "|"-separated "name=value" segments study keys are built from) and
+// returns one line per difference, of the form
+// "name: checkpoint has X, this run has Y". Fields missing on one side
+// are reported as "(absent)". A structurally alien key yields a single
+// whole-key line.
+func (e *KeyMismatchError) Diff() []string {
+	stored := keyFields(e.Stored)
+	want := keyFields(e.Want)
+	if stored == nil || want == nil {
+		return []string{fmt.Sprintf("key: checkpoint has %q, this run has %q", e.Stored, e.Want)}
+	}
+	names := make(map[string]bool, len(stored)+len(want))
+	for k := range stored {
+		names[k] = true
+	}
+	for k := range want {
+		names[k] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for k := range names {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	var diff []string
+	for _, k := range ordered {
+		s, sok := stored[k]
+		w, wok := want[k]
+		if sok && wok && s == w {
+			continue
+		}
+		if !sok {
+			s = "(absent)"
+		}
+		if !wok {
+			w = "(absent)"
+		}
+		diff = append(diff, fmt.Sprintf("%s: checkpoint has %s, this run has %s", k, s, w))
+	}
+	return diff
+}
+
+// keyFields splits a study key into its name=value fields, keyed by
+// name. The leading study-name segment (no '=') is filed under "study".
+// Returns nil if the key has no recognizable structure.
+func keyFields(key string) map[string]string {
+	if key == "" {
+		return nil
+	}
+	fields := make(map[string]string)
+	for i, seg := range strings.Split(key, "|") {
+		if name, val, ok := strings.Cut(seg, "="); ok {
+			fields[name] = val
+		} else if i == 0 {
+			fields["study"] = seg
+		} else {
+			return nil
+		}
+	}
+	return fields
+}
+
+// SalvageReport describes what SalvageCheckpoint recovered. Reason is
+// empty when the file was fully valid (or absent) and nothing was
+// dropped.
+type SalvageReport struct {
+	// Rows is the length of the valid prefix adopted (same as
+	// Checkpoint.Rows()).
+	Rows int
+	// DroppedBytes counts payload bytes discarded after the valid
+	// prefix.
+	DroppedBytes int64
+	// Reason describes the first defect found, empty if none.
+	Reason string
+}
+
+// Checkpoint persists the settled-prefix of one streaming sweep.
+// Create one with OpenCheckpoint (fresh), ResumeCheckpoint (continue,
+// strict), or SalvageCheckpoint (continue, tolerating a damaged tail);
+// pass it to StreamCheckpoint or StreamCheckpointFail, and frames are
+// appended and flushed automatically. A Checkpoint is used from the
+// merge goroutine only and is not safe for concurrent use.
 type Checkpoint struct {
+	fsys  fault.FS
 	path  string
 	key   string
 	every int
 
-	rows    int    // rows persisted in the on-disk snapshot
+	rows    int    // frames persisted in the on-disk snapshot
 	payload int64  // payload bytes in the on-disk snapshot
 	crc     uint32 // running CRC-32 of the on-disk payload
 
-	pend     bytes.Buffer // serialized rows not yet flushed
+	pend     bytes.Buffer // serialized frames not yet flushed
 	pendRows int
 }
 
 // OpenCheckpoint starts a fresh checkpoint at path for the study
-// identified by key, flushing every `every` rows (0 selects
+// identified by key, flushing every `every` frames (0 selects
 // DefaultCheckpointEvery). An existing file at path is an error
 // (ErrCheckpointExists): starting over must be an explicit choice. The
 // empty initial snapshot is written immediately, so an unwritable path
 // fails before any simulation work is spent.
 func OpenCheckpoint(path, key string, every int) (*Checkpoint, error) {
-	if _, err := os.Lstat(path); err == nil {
+	return OpenCheckpointFS(nil, path, key, every)
+}
+
+// OpenCheckpointFS is OpenCheckpoint through an explicit filesystem
+// seam (nil selects the real one); it exists so fault-injection tests
+// can tear checkpoint writes.
+func OpenCheckpointFS(fsys fault.FS, path, key string, every int) (*Checkpoint, error) {
+	ck := newCheckpoint(fsys, path, key, every)
+	if _, err := ck.fsys.Lstat(path); err == nil {
 		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, ErrCheckpointExists)
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
 	}
-	ck := newCheckpoint(path, key, every)
 	if err := ck.Flush(); err != nil {
 		return nil, err
 	}
@@ -101,33 +230,89 @@ func OpenCheckpoint(path, key string, every int) (*Checkpoint, error) {
 // ResumeCheckpoint continues from the checkpoint at path. A missing file
 // starts fresh (so the same resume-enabled command line works both
 // before and after an interruption); an existing file is fully
-// validated — magic, version, study key, row count, payload length, and
-// CRC — and any defect is reported as a descriptive error rather than
-// silently recomputing or panicking downstream.
+// validated — magic, version, study key, frame structure, per-frame and
+// whole-payload CRCs — and any defect is reported as a descriptive
+// error rather than silently recomputing or panicking downstream. For a
+// damaged file whose valid prefix is still worth resuming from, use
+// SalvageCheckpoint instead.
 func ResumeCheckpoint(path, key string, every int) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	return ResumeCheckpointFS(nil, path, key, every)
+}
+
+// ResumeCheckpointFS is ResumeCheckpoint through an explicit filesystem
+// seam (nil selects the real one).
+func ResumeCheckpointFS(fsys fault.FS, path, key string, every int) (*Checkpoint, error) {
+	ck := newCheckpoint(fsys, path, key, every)
+	f, err := ck.fsys.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return OpenCheckpoint(path, key, every)
+		return OpenCheckpointFS(fsys, path, key, every)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
 	}
 	defer f.Close()
-	ck := newCheckpoint(path, key, every)
 	if err := ck.load(f); err != nil {
 		return nil, err
 	}
 	return ck, nil
 }
 
-func newCheckpoint(path, key string, every int) *Checkpoint {
+// SalvageCheckpoint continues from the checkpoint at path, recovering
+// the longest valid frame prefix of a damaged file instead of rejecting
+// it. The salvage policy:
+//
+//   - missing file: start fresh (like ResumeCheckpoint);
+//   - unreadable header or wrong format version: nothing is trustable —
+//     salvage to an empty checkpoint and re-run from job 0;
+//   - readable header with a different study key: hard error
+//     (*KeyMismatchError) — the file belongs to a different study, and
+//     "salvaging" it would silently mix configurations;
+//   - valid header: scan frames, stop at the first truncated frame, bad
+//     kind, or frame-CRC mismatch, adopt everything before it, and
+//     rewrite the snapshot so the damage is gone from disk. The
+//     header's own count/length/CRC promises are ignored — after a torn
+//     flush they describe a file that no longer exists.
+func SalvageCheckpoint(path, key string, every int) (*Checkpoint, SalvageReport, error) {
+	return SalvageCheckpointFS(nil, path, key, every)
+}
+
+// SalvageCheckpointFS is SalvageCheckpoint through an explicit
+// filesystem seam (nil selects the real one).
+func SalvageCheckpointFS(fsys fault.FS, path, key string, every int) (*Checkpoint, SalvageReport, error) {
+	ck := newCheckpoint(fsys, path, key, every)
+	f, err := ck.fsys.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		ck, err := OpenCheckpointFS(fsys, path, key, every)
+		return ck, SalvageReport{}, err
+	}
+	if err != nil {
+		return nil, SalvageReport{}, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+	}
+	rep, err := ck.salvage(f)
+	f.Close()
+	if err != nil {
+		return nil, SalvageReport{}, err
+	}
+	// Rewrite the snapshot: Flush copies forward exactly the adopted
+	// payload prefix under a fresh, truthful header, so the damaged tail
+	// is physically gone and a later strict resume succeeds.
+	if err := ck.Flush(); err != nil {
+		return nil, SalvageReport{}, err
+	}
+	return ck, rep, nil
+}
+
+func newCheckpoint(fsys fault.FS, path, key string, every int) *Checkpoint {
+	if fsys == nil {
+		fsys = fault.OS
+	}
 	if every <= 0 {
 		every = DefaultCheckpointEvery
 	}
-	return &Checkpoint{path: path, key: key, every: every, crc: 0}
+	return &Checkpoint{fsys: fsys, path: path, key: key, every: every, crc: 0}
 }
 
-// Rows returns how many rows the on-disk snapshot holds (the resume
+// Rows returns how many frames the on-disk snapshot holds (the resume
 // point: jobs [0, Rows()) will be replayed, not re-run).
 func (ck *Checkpoint) Rows() int { return ck.rows }
 
@@ -171,8 +356,8 @@ func writeHeader(w io.Writer, key string, count, payloadLen uint64, crc uint32) 
 	return err
 }
 
-// readHeader parses and structurally validates the header. Key/version
-// mismatches are left to the caller, which knows the expected values.
+// readHeader parses and structurally validates the header. Key
+// mismatches are left to the caller, which knows the expected value.
 func (ck *Checkpoint) readHeader(r io.Reader) (ckptHeader, error) {
 	var h ckptHeader
 	var magic [8]byte
@@ -216,7 +401,7 @@ func (ck *Checkpoint) readHeader(r io.Reader) (ckptHeader, error) {
 		return h, ck.corrupt("truncated header: key cut short")
 	}
 	h.key = string(keyBuf)
-	if h.count, err = read64("row count"); err != nil {
+	if h.count, err = read64("frame count"); err != nil {
 		return h, err
 	}
 	if h.payloadLen, err = read64("payload length"); err != nil {
@@ -228,45 +413,95 @@ func (ck *Checkpoint) readHeader(r io.Reader) (ckptHeader, error) {
 	return h, nil
 }
 
+// maxFrameLen bounds a single frame's payload. Real rows are small
+// gobs; the bound keeps a corrupted length field from demanding a
+// multi-gigabyte allocation before the CRC check can reject the frame.
+const maxFrameLen = 1 << 24
+
+// readFrame reads and verifies one frame: length, kind, per-frame CRC,
+// payload. It returns io.EOF cleanly at end of input before any frame
+// bytes; any other defect is an error describing it.
+func readFrame(r io.Reader, crc *uint32) (kind byte, payload []byte, err error) {
+	var hdr [frameOverhead]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("frame header cut short")
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("frame header cut short")
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	kind = hdr[4]
+	frameCRC := binary.LittleEndian.Uint32(hdr[5:9])
+	if kind != frameRow && kind != frameFail {
+		return 0, nil, fmt.Errorf("unknown frame kind %d", kind)
+	}
+	if length > maxFrameLen {
+		return 0, nil, fmt.Errorf("implausible frame length %d", length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("frame payload cut short (%d bytes promised)", length)
+	}
+	sum := crc32.Update(0, crc32.IEEETable, hdr[0:5])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	if sum != frameCRC {
+		return 0, nil, fmt.Errorf("frame CRC mismatch (file %08x, computed %08x)", frameCRC, sum)
+	}
+	if crc != nil {
+		*crc = crc32.Update(*crc, crc32.IEEETable, hdr[:])
+		*crc = crc32.Update(*crc, crc32.IEEETable, payload)
+	}
+	return kind, payload, nil
+}
+
+// appendFrame serializes one frame into the pending buffer.
+func (ck *Checkpoint) appendFrame(kind byte, payload []byte) {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = kind
+	sum := crc32.Update(0, crc32.IEEETable, hdr[0:5])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], sum)
+	ck.pend.Write(hdr[:])
+	ck.pend.Write(payload)
+	ck.pendRows++
+}
+
 // load validates an existing checkpoint file and adopts its state.
-func (ck *Checkpoint) load(f *os.File) error {
+func (ck *Checkpoint) load(f fault.ReadFile) error {
 	h, err := ck.readHeader(f)
 	if err != nil {
 		return err
 	}
 	if h.key != ck.key {
-		return ck.mismatch("recorded for a different study/config:\n  file: %s\n  want: %s", h.key, ck.key)
+		return &KeyMismatchError{Path: ck.path, Stored: h.key, Want: ck.key}
 	}
-	// Walk the payload record frames, verifying the byte length, record
-	// count, and CRC the header promises.
+	// Walk the payload frames, verifying each frame plus the byte
+	// length, frame count, and CRC the header promises.
 	var (
 		crc      uint32
-		consumed uint64
-		records  uint64
-		lenBuf   [4]byte
+		frames   uint64
+		lr       = io.LimitReader(f, int64(h.payloadLen))
+		consumed = &countingReader{r: lr}
 	)
-	lr := io.LimitReader(f, int64(h.payloadLen))
-	for consumed < h.payloadLen {
-		if _, err := io.ReadFull(lr, lenBuf[:]); err != nil {
-			return ck.corrupt("truncated payload: %d of %d bytes present", consumed, h.payloadLen)
+	for {
+		_, _, err := readFrame(consumed, &crc)
+		if err == io.EOF {
+			break
 		}
-		crc = crc32.Update(crc, crc32.IEEETable, lenBuf[:])
-		recLen := binary.LittleEndian.Uint32(lenBuf[:])
-		consumed += 4
-		if uint64(recLen) > h.payloadLen-consumed {
-			return ck.corrupt("record %d overruns the payload (%d bytes claimed, %d remain)",
-				records, recLen, h.payloadLen-consumed)
+		if err != nil {
+			return ck.corrupt("frame %d: %v", frames, err)
 		}
-		rec := make([]byte, recLen)
-		if _, err := io.ReadFull(lr, rec); err != nil {
-			return ck.corrupt("truncated payload: record %d cut short", records)
-		}
-		crc = crc32.Update(crc, crc32.IEEETable, rec)
-		consumed += uint64(recLen)
-		records++
+		frames++
 	}
-	if records != h.count {
-		return ck.corrupt("header promises %d rows, payload holds %d", h.count, records)
+	if consumed.n != int64(h.payloadLen) {
+		return ck.corrupt("truncated payload: %d of %d bytes present", consumed.n, h.payloadLen)
+	}
+	if frames != h.count {
+		return ck.corrupt("header promises %d frames, payload holds %d", h.count, frames)
 	}
 	if crc != h.payloadCRC {
 		return ck.corrupt("payload CRC mismatch (file %08x, computed %08x)", h.payloadCRC, crc)
@@ -280,28 +515,104 @@ func (ck *Checkpoint) load(f *os.File) error {
 	return nil
 }
 
+// salvage scans the file for the longest valid frame prefix and adopts
+// it, returning a report of what was dropped. The header's
+// count/length/CRC fields are ignored: after a torn flush they promise
+// bytes that are no longer there.
+func (ck *Checkpoint) salvage(f fault.ReadFile) (SalvageReport, error) {
+	var rep SalvageReport
+	h, err := ck.readHeader(f)
+	if err != nil {
+		// Unreadable header or wrong version: nothing in the file can be
+		// trusted (frame boundaries depend on the key length). Restart.
+		ck.rows, ck.payload, ck.crc = 0, 0, 0
+		if n, serr := io.Copy(io.Discard, f); serr == nil {
+			rep.DroppedBytes = n
+		}
+		rep.Reason = fmt.Sprintf("unreadable header (%v); restarting from job 0", err)
+		return rep, nil
+	}
+	if h.key != ck.key {
+		return rep, &KeyMismatchError{Path: ck.path, Stored: h.key, Want: ck.key}
+	}
+	var (
+		crc      uint32
+		valid    int64
+		validCRC uint32
+		frames   int
+		counted  = &countingReader{r: f}
+	)
+	for {
+		kind, _, err := readFrame(counted, &crc)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rep.Reason = fmt.Sprintf("frame %d: %v; keeping the %d-frame prefix", frames, err, frames)
+			break
+		}
+		_ = kind
+		valid = counted.n
+		validCRC = crc
+		frames++
+	}
+	rep.DroppedBytes = counted.n - valid
+	if rep.Reason == "" && rep.DroppedBytes > 0 {
+		rep.Reason = fmt.Sprintf("%d trailing bytes beyond the last whole frame", rep.DroppedBytes)
+	}
+	ck.rows = frames
+	ck.payload = valid
+	ck.crc = validCRC
+	rep.Rows = frames
+	return rep, nil
+}
+
+// countingReader counts bytes consumed from r.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // AppendRow serializes one completed row into the pending buffer,
-// flushing the snapshot when the cadence is reached. Rows must be
+// flushing the snapshot when the cadence is reached. Frames must be
 // appended in emission (index) order.
 func AppendRow[T any](ck *Checkpoint, v T) error {
 	var rec bytes.Buffer
 	if err := gob.NewEncoder(&rec).Encode(&v); err != nil {
 		return fmt.Errorf("sweep: checkpoint %s: encode row %d: %w", ck.path, ck.rows+ck.pendRows, err)
 	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(rec.Len()))
-	ck.pend.Write(lenBuf[:])
-	ck.pend.Write(rec.Bytes())
-	ck.pendRows++
+	ck.appendFrame(frameRow, rec.Bytes())
 	if ck.pendRows >= ck.every {
 		return ck.Flush()
 	}
 	return nil
 }
 
-// Flush rewrites the snapshot to include every pending row: a temp file
-// in the same directory receives the new header, the old payload
-// (streamed from the previous snapshot), and the pending records, is
+// AppendFail records a fatal job failure as the frame for its index, so
+// a keep-going sweep's settled prefix advances past failed jobs and a
+// resume neither re-runs nor forgets them. Only the error text is
+// persisted.
+func (ck *Checkpoint) AppendFail(err error) error {
+	var rec bytes.Buffer
+	if gerr := gob.NewEncoder(&rec).Encode(err.Error()); gerr != nil {
+		return fmt.Errorf("sweep: checkpoint %s: encode failure %d: %w", ck.path, ck.rows+ck.pendRows, gerr)
+	}
+	ck.appendFrame(frameFail, rec.Bytes())
+	if ck.pendRows >= ck.every {
+		return ck.Flush()
+	}
+	return nil
+}
+
+// Flush rewrites the snapshot to include every pending frame: a temp
+// file in the same directory receives the new header, the old payload
+// (streamed from the previous snapshot), and the pending frames, is
 // synced, and atomically renamed over the old file.
 func (ck *Checkpoint) Flush() error {
 	newCount := uint64(ck.rows + ck.pendRows)
@@ -309,20 +620,20 @@ func (ck *Checkpoint) Flush() error {
 	newCRC := crc32.Update(ck.crc, crc32.IEEETable, ck.pend.Bytes())
 
 	tmp := ck.path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := ck.fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
 	}
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		ck.fsys.Remove(tmp)
 		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
 	}
 	if err := writeHeader(f, ck.key, newCount, newLen, newCRC); err != nil {
 		return fail(err)
 	}
 	if ck.payload > 0 {
-		old, err := os.Open(ck.path)
+		old, err := ck.fsys.Open(ck.path)
 		if err != nil {
 			return fail(err)
 		}
@@ -343,11 +654,11 @@ func (ck *Checkpoint) Flush() error {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		ck.fsys.Remove(tmp)
 		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
 	}
-	if err := os.Rename(tmp, ck.path); err != nil {
-		os.Remove(tmp)
+	if err := ck.fsys.Rename(tmp, ck.path); err != nil {
+		ck.fsys.Remove(tmp)
 		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
 	}
 	ck.rows = int(newCount)
@@ -358,15 +669,29 @@ func (ck *Checkpoint) Flush() error {
 	return nil
 }
 
-// ReplayCheckpoint decodes the saved rows in order and hands each to
-// emit with its original job index. The file was already validated at
-// ResumeCheckpoint time; decode failures still surface as corruption
-// errors rather than panics.
+// recordedError is a failure replayed from a checkpoint: only the
+// original error's text survived serialization.
+type recordedError string
+
+func (e recordedError) Error() string { return string(e) }
+
+// ReplayCheckpoint decodes the saved frames in order and hands each row
+// to emit with its original job index. A failure frame (written by a
+// keep-going sweep) is an error here: resuming such a file requires a
+// failure sink — use ReplayCheckpointFail.
 func ReplayCheckpoint[T any](ck *Checkpoint, emit func(i int, v T) error) error {
+	return ReplayCheckpointFail(ck, emit, nil)
+}
+
+// ReplayCheckpointFail is ReplayCheckpoint with a failure sink: rows go
+// to emit, recorded failures go to fail (carrying the persisted error
+// text), each with its original job index. With a nil fail, a failure
+// frame aborts the replay.
+func ReplayCheckpointFail[T any](ck *Checkpoint, emit func(i int, v T) error, fail FailFunc) error {
 	if ck.rows == 0 {
 		return nil
 	}
-	f, err := os.Open(ck.path)
+	f, err := ck.fsys.Open(ck.path)
 	if err != nil {
 		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
 	}
@@ -374,60 +699,89 @@ func ReplayCheckpoint[T any](ck *Checkpoint, emit func(i int, v T) error) error 
 	if _, err := f.Seek(int64(ck.headerLen()), io.SeekStart); err != nil {
 		return fmt.Errorf("sweep: checkpoint %s: %w", ck.path, err)
 	}
-	var lenBuf [4]byte
 	for i := 0; i < ck.rows; i++ {
-		if _, err := io.ReadFull(f, lenBuf[:]); err != nil {
-			return ck.corrupt("replay: row %d frame missing", i)
+		kind, payload, err := readFrame(f, nil)
+		if err != nil {
+			return ck.corrupt("replay: frame %d: %v", i, err)
 		}
-		rec := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
-		if _, err := io.ReadFull(f, rec); err != nil {
-			return ck.corrupt("replay: row %d cut short", i)
-		}
-		var v T
-		if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&v); err != nil {
-			return ck.corrupt("replay: row %d does not decode: %v", i, err)
-		}
-		if err := emit(i, v); err != nil {
-			return err
+		switch kind {
+		case frameRow:
+			var v T
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&v); err != nil {
+				return ck.corrupt("replay: row %d does not decode: %v", i, err)
+			}
+			if err := emit(i, v); err != nil {
+				return err
+			}
+		case frameFail:
+			var msg string
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+				return ck.corrupt("replay: failure %d does not decode: %v", i, err)
+			}
+			if fail == nil {
+				return fmt.Errorf("sweep: checkpoint %s: job %d is a recorded failure (%s); resume with keep-going enabled or start over", ck.path, i, msg)
+			}
+			if err := fail(i, recordedError(msg)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// StreamCheckpoint is StreamWorker with persistence: rows already in the
-// checkpoint are replayed through emit without re-running their jobs,
-// the remaining indices run on the pool, and every newly emitted row is
-// appended to the checkpoint (flushed on the checkpoint's cadence, and
-// once more when the sweep ends, successfully or not). A nil checkpoint
-// degenerates to plain StreamWorker.
+// StreamCheckpoint is StreamWorker with persistence: frames already in
+// the checkpoint are replayed through emit without re-running their
+// jobs, the remaining indices run on the pool, and every newly emitted
+// row is appended to the checkpoint (flushed on the checkpoint's
+// cadence, and once more when the sweep ends, successfully or not). A
+// nil checkpoint degenerates to plain StreamWorker.
 //
 // Because replayed rows are byte-identical to the rows the original run
 // emitted and new rows are produced by the same deterministic jobs, an
 // interrupted-then-resumed sweep emits exactly the sequence an
 // uninterrupted run would have — at any worker count.
 func StreamCheckpoint[S, T any](ctx context.Context, p *Pool, n int, ck *Checkpoint, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error) error {
+	return StreamCheckpointFail(ctx, p, n, ck, newState, fn, emit, nil)
+}
+
+// StreamCheckpointFail is StreamCheckpoint in keep-going mode: fatal
+// job failures are recorded as failure frames in the checkpoint and
+// routed to fail in index order instead of aborting the sweep (see
+// StreamWorkerFail). Replayed failure frames reach fail too, so an
+// interrupted keep-going sweep resumes with the same complete
+// emit/fail sequence an uninterrupted run would have produced.
+func StreamCheckpointFail[S, T any](ctx context.Context, p *Pool, n int, ck *Checkpoint, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error, fail FailFunc) error {
 	if ck == nil {
-		return StreamWorker(ctx, p, n, newState, fn, emit)
+		return StreamWorkerFail(ctx, p, n, newState, fn, emit, fail)
 	}
 	if ck.rows > n {
-		return ck.mismatch("holds %d rows but the sweep has only %d jobs", ck.rows, n)
+		return ck.mismatch("holds %d frames but the sweep has only %d jobs", ck.rows, n)
 	}
-	if err := ReplayCheckpoint(ck, emit); err != nil {
+	if err := ReplayCheckpointFail(ck, emit, fail); err != nil {
 		return err
 	}
 	if ck.rows == n {
 		return nil
 	}
 	base := ck.rows
-	err := StreamWorker(ctx, p, n-base, newState,
+	var ckFail FailFunc
+	if fail != nil {
+		ckFail = func(j int, ferr error) error {
+			if err := ck.AppendFail(ferr); err != nil {
+				return err
+			}
+			return fail(base+j, ferr)
+		}
+	}
+	err := StreamWorkerFail(ctx, p, n-base, newState,
 		func(ctx context.Context, s S, j int) (T, error) { return fn(ctx, s, base+j) },
 		func(j int, v T) error {
 			if err := AppendRow(ck, v); err != nil {
 				return err
 			}
 			return emit(base+j, v)
-		})
-	// Persist whatever completed even when the sweep failed or was
+		}, ckFail)
+	// Persist whatever settled even when the sweep failed or was
 	// cancelled — that is the resume point. The sweep's own error wins.
 	if ferr := ck.Flush(); err == nil {
 		err = ferr

@@ -48,4 +48,40 @@
 // adapts it to a log/slog logger, and ProgressETA adds completed/total
 // counts plus an ETA from a sliding window of recent completions. The
 // hook observes jobs, never influences them.
+//
+// # Failure model
+//
+// Job errors are classified transient or fatal. An error wrapped with
+// Transient (detectable via IsTransient) is worth retrying: with
+// Pool.Retries > 0 the pool reruns the job up to that many extra
+// attempts before giving up, with deterministic backoff — seeded yield
+// bursts derived from (RetrySeed, index, attempt), never wall-clock
+// sleeps, so a retried sweep stays bit-reproducible. Everything else,
+// including *PanicError, is fatal on the first attempt. Because retries
+// happen inside the job slot, a sweep whose transient failures all
+// resolve within budget produces output byte-identical to one that
+// never failed.
+//
+// Fatal errors abort the sweep with the lowest-index failure, unless
+// the caller supplies a FailFunc (StreamFail and the *Fail variants):
+// then each fatal failure is delivered to the fail sink in strict index
+// order, interleaved with emitted successes exactly as a sequential
+// loop would observe them, and the sweep keeps going. Checkpoints
+// record such failures as failure frames so a resumed run replays the
+// same outcome rather than retrying failed indices.
+//
+// Resume has a second, forgiving mode: SalvageCheckpoint scans a
+// damaged checkpoint and adopts the longest valid frame prefix,
+// truncating torn or corrupt tails (a crash mid-rename, a bad disk) so
+// the sweep recomputes only what was actually lost. A checkpoint whose
+// header reads cleanly but names a different study key is never
+// salvaged — that is a configuration error (*KeyMismatchError, with a
+// field-by-field Diff), not damage.
+//
+// The fault package supplies the matching test seam: an Injector
+// (Pool.Inject) deterministically injects transient job errors, job
+// panics, and scheduling delays, and its FS wrapper injects short
+// writes and failed renames under the checkpoint writer. All decisions
+// are pure hashes of (seed, site, index, attempt), so every injected
+// failure schedule replays exactly.
 package sweep

@@ -1,15 +1,19 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"specdsm/internal/fault"
 	"specdsm/internal/report"
 )
 
@@ -33,6 +37,24 @@ type Pool struct {
 	// order on a multi-worker pool. It exists for progress reporting
 	// (see Progress and ProgressETA) and must not affect results.
 	OnJobDone func(index int, d time.Duration)
+	// Retries is the per-job retry budget for transient failures: a job
+	// whose error satisfies IsTransient is re-run in place — same index,
+	// same worker, same worker-local state — up to Retries more times
+	// before the failure becomes permanent. Fatal errors (anything not
+	// marked Transient, including *PanicError) are never retried.
+	// Because the retry happens inside the job slot, the ordered merge
+	// is undisturbed: a sweep whose transient faults all succeed within
+	// budget emits output byte-identical to a fault-free run.
+	Retries int
+	// RetrySeed seeds the deterministic backoff between retry attempts.
+	// Backoff is measured in scheduler yields (attempt count), never
+	// wall time, so retried sweeps stay reproducible and fast.
+	RetrySeed uint64
+	// Inject, when non-nil, threads a deterministic fault injector into
+	// every job attempt: seeded transient errors, panics, and
+	// scheduling delays (see internal/fault). The disabled path costs
+	// one nil check per job.
+	Inject *fault.Injector
 }
 
 // New returns a pool with the given worker count; n <= 0 selects
@@ -117,16 +139,123 @@ func (g *mergeGate) close() {
 // wake re-evaluates every waiter's condition (e.g. after ctx cancel).
 func (g *mergeGate) wake() { g.cond.Broadcast() }
 
+// transientError marks an error as retryable. It is created by
+// Transient and detected by IsTransient; the wrapped error stays
+// reachable through errors.Is/As.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as a transient failure: one that a bounded
+// retry may clear (a lost RPC, a briefly unavailable resource, an
+// injected fault). The pool re-runs transient failures in place when
+// Pool.Retries allows; everything else — including *PanicError — is
+// fatal on first occurrence. Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err carries the Transient marker anywhere
+// in its chain.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
 // PanicError is a panic recovered from a job, preserving the job index,
-// the panic value, and the goroutine stack at the panic site.
+// the panic value, and the goroutine stack at the panic site. A
+// PanicError is always fatal: panics indicate bugs, not conditions a
+// retry could clear.
 type PanicError struct {
 	Index int
 	Value any
 	Stack []byte
 }
 
+// Error includes the job index, the panic value, and a trimmed one-line
+// stack — enough to locate a panicking worker from study output alone.
+// The trimmed form is deterministic (no addresses, no goroutine IDs,
+// and no frames from the pool machinery, which differ between the
+// sequential and parallel paths), so output containing it stays
+// byte-identical at every worker count. The full raw stack remains in
+// Stack.
 func (e *PanicError) Error() string {
-	return fmt.Sprintf("sweep: job %d panicked: %v", e.Index, e.Value)
+	s := trimStack(e.Stack)
+	if s == "" {
+		return fmt.Sprintf("sweep: job %d panicked: %v", e.Index, e.Value)
+	}
+	return fmt.Sprintf("sweep: job %d panicked: %v [%s]", e.Index, e.Value, s)
+}
+
+// trimStackFrames caps how many frames the one-line stack keeps.
+const trimStackFrames = 6
+
+// trimStack compresses a debug.Stack dump into a deterministic single
+// line: up to trimStackFrames frames of "func (file:line)" joined by
+// " < ", innermost first. Frames above the panic site (runtime
+// machinery, the pool's recover) and below the pool's job runner are
+// dropped, and addresses/offsets are stripped, so two identical panics
+// — whatever goroutine or worker path they happen on — trim to the same
+// text.
+func trimStack(stack []byte) string {
+	lines := strings.Split(string(bytes.TrimSpace(stack)), "\n")
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "goroutine ") {
+		lines = lines[1:] // drop the "goroutine N [running]:" header
+	}
+	var frames []string
+	for i := 0; i+1 < len(lines); i += 2 {
+		fn, loc := lines[i], strings.TrimSpace(lines[i+1])
+		switch {
+		case strings.HasPrefix(fn, "runtime"),
+			strings.HasPrefix(fn, "panic("),
+			strings.Contains(fn, "debug.Stack"),
+			strings.Contains(fn, "internal/sweep.runOnce") && strings.Contains(fn, ".func"):
+			// Machinery above the panic site: the stack grabber, the
+			// pool's deferred recover, and the runtime's panic plumbing.
+			continue
+		}
+		if strings.Contains(fn, "specdsm/internal/sweep.") {
+			// The pool's own job runner: everything below differs
+			// between streamSeq and the worker goroutines. If the panic
+			// originated here (an injected panic), keep this one frame
+			// so the line is never empty.
+			if len(frames) == 0 {
+				frames = append(frames, frameText(fn, loc))
+			}
+			break
+		}
+		frames = append(frames, frameText(fn, loc))
+		if len(frames) == trimStackFrames {
+			frames = append(frames, "...")
+			break
+		}
+	}
+	return strings.Join(frames, " < ")
+}
+
+// frameText renders one stack frame as "func (file:line)", dropping the
+// argument list (which prints raw pointer words) and the "+0x.." offset.
+func frameText(fn, loc string) string {
+	if i := strings.LastIndexByte(fn, '('); i > 0 {
+		fn = fn[:i]
+	}
+	if i := strings.LastIndexByte(fn, '/'); i >= 0 {
+		fn = fn[i+1:]
+	}
+	if i := strings.Index(loc, " +0x"); i > 0 {
+		loc = loc[:i]
+	}
+	if i := strings.LastIndexByte(loc, '/'); i >= 0 {
+		loc = loc[i+1:]
+	}
+	if loc == "" {
+		return fn
+	}
+	return fn + " (" + loc + ")"
 }
 
 // Map runs fn for every index in [0, n) on the pool and returns the
@@ -173,8 +302,36 @@ func Stream[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Cont
 		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) }, emit)
 }
 
+// FailFunc receives a fatal job failure in keep-going mode. It is
+// called from the same goroutine as emit, in strict index order
+// interleaved with emissions: for every index exactly one of emit or
+// fail runs. Returning a non-nil error stops the sweep, exactly as an
+// emit error would.
+type FailFunc func(index int, err error) error
+
+// StreamFail is Stream in keep-going mode: a job whose failure is
+// fatal (after the pool's retry budget, if any) is routed to fail
+// instead of aborting the sweep, and later jobs still run and emit.
+// The sweep then returns nil even if jobs failed — the caller owns the
+// failure manifest fail accumulated.
+func StreamFail[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error), emit func(i int, v T) error, fail FailFunc) error {
+	return StreamWorkerFail(ctx, p, n, nothing,
+		func(ctx context.Context, _ struct{}, i int) (T, error) { return fn(ctx, i) }, emit, fail)
+}
+
 // StreamWorker is Stream with worker-local state (see MapWorker).
 func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error) error {
+	return StreamWorkerFail(ctx, p, n, newState, fn, emit, nil)
+}
+
+// StreamWorkerFail is StreamWorker with an optional keep-going failure
+// sink: with a nil fail the first fatal job failure stops the sweep
+// (StreamWorker semantics); with a non-nil fail every index reaches
+// exactly one of emit or fail, in index order, and job failures do not
+// stop dispatch. Because the failed indices and their errors flow
+// through the same ordered merge as results, the interleaved
+// emit/fail sequence is identical at every worker count.
+func StreamWorkerFail[S, T any](ctx context.Context, p *Pool, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error, fail FailFunc) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -183,7 +340,7 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 		workers = n
 	}
 	if workers == 1 {
-		return streamSeq(ctx, p, n, newState, fn, emit)
+		return streamSeq(ctx, p, n, newState, fn, emit, fail)
 	}
 
 	type item struct {
@@ -248,17 +405,19 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 		close(results)
 	}()
 
-	// Ordered merge. pending buffers out-of-order completions; failIdx
-	// tracks the lowest failed index seen so far. Dispatch stops on the
-	// first failure, but in-flight lower-index jobs still finish and may
-	// lower failIdx further — exactly matching what a sequential loop
-	// would have hit first.
-	pending := make(map[int]T, workers)
+	// Ordered merge. pending buffers out-of-order completions (carrying
+	// their errors in keep-going mode); failIdx tracks the lowest failed
+	// index seen so far. With a nil fail, dispatch stops on the first
+	// failure, but in-flight lower-index jobs still finish and may lower
+	// failIdx further — exactly matching what a sequential loop would
+	// have hit first. With a non-nil fail, failures are buffered like
+	// results and delivered to fail when their turn in the order comes.
+	pending := make(map[int]item, workers)
 	nextEmit := 0
 	failIdx := n
 	var failErr, emitErr error
 	for it := range results {
-		if it.err != nil {
+		if it.err != nil && fail == nil {
 			if it.i < failIdx {
 				failIdx, failErr = it.i, it.err
 			}
@@ -268,14 +427,20 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 		if it.i >= failIdx || emitErr != nil {
 			continue
 		}
-		pending[it.i] = it.v
+		pending[it.i] = it
 		for emitErr == nil && nextEmit < failIdx {
-			v, ok := pending[nextEmit]
+			cur, ok := pending[nextEmit]
 			if !ok {
 				break
 			}
 			delete(pending, nextEmit)
-			if err := emit(nextEmit, v); err != nil {
+			var err error
+			if cur.err != nil {
+				err = fail(nextEmit, cur.err)
+			} else {
+				err = emit(nextEmit, cur.v)
+			}
+			if err != nil {
 				emitErr = err
 				halt()
 				break
@@ -301,8 +466,9 @@ func StreamWorker[S, T any](ctx context.Context, p *Pool, n int, newState func()
 
 // streamSeq is the one-worker fast path: in-order execution on the
 // calling goroutine with a single state instance, stopping at the first
-// failure — the exact shape of the study loops the pool replaced.
-func streamSeq[S, T any](ctx context.Context, p *Pool, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error) error {
+// failure (or routing failures to fail in keep-going mode) — the exact
+// shape of the study loops the pool replaced.
+func streamSeq[S, T any](ctx context.Context, p *Pool, n int, newState func() S, fn func(ctx context.Context, s S, i int) (T, error), emit func(i int, v T) error, fail FailFunc) error {
 	state := newState()
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
@@ -310,7 +476,13 @@ func streamSeq[S, T any](ctx context.Context, p *Pool, n int, newState func() S,
 		}
 		v, err := runJob(ctx, p, state, i, fn)
 		if err != nil {
-			return err
+			if fail == nil {
+				return err
+			}
+			if ferr := fail(i, err); ferr != nil {
+				return ferr
+			}
+			continue
 		}
 		if err := emit(i, v); err != nil {
 			return err
@@ -319,12 +491,48 @@ func streamSeq[S, T any](ctx context.Context, p *Pool, n int, newState func() S,
 	return nil
 }
 
-func runJob[S, T any](ctx context.Context, p *Pool, s S, i int, fn func(ctx context.Context, s S, i int) (T, error)) (v T, err error) {
+// runJob runs job i under the pool's retry policy: runOnce per attempt,
+// re-running in place while the error is Transient, budget remains, and
+// the context is live. Retrying in place — same index, same worker,
+// same worker-local state — leaves the ordered merge untouched, so a
+// sweep whose transient faults clear within budget is indistinguishable
+// from a fault-free one.
+func runJob[S, T any](ctx context.Context, p *Pool, s S, i int, fn func(ctx context.Context, s S, i int) (T, error)) (T, error) {
+	var retries int
+	if p != nil {
+		retries = p.Retries
+	}
+	for attempt := 0; ; attempt++ {
+		v, err := runOnce(ctx, p, s, i, attempt, fn)
+		if err == nil || attempt >= retries || !IsTransient(err) || ctx.Err() != nil {
+			return v, err
+		}
+		var seed uint64
+		if p != nil {
+			seed = p.RetrySeed
+		}
+		backoff(seed, i, attempt)
+	}
+}
+
+// runOnce executes a single attempt of job i: injector seams first
+// (delay, panic, transient error), then the job itself, with panics
+// converted to *PanicError and the completion hook fired on success.
+func runOnce[S, T any](ctx context.Context, p *Pool, s S, i, attempt int, fn func(ctx context.Context, s S, i int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 		}
 	}()
+	if inj := p.injector(); inj != nil {
+		inj.JobDelay(i, attempt)
+		if inj.JobPanic(i, attempt) {
+			panic(fmt.Sprintf("%v: injected panic (job %d, attempt %d)", fault.ErrInjected, i, attempt))
+		}
+		if inj.JobTransient(i, attempt) {
+			return v, Transient(fmt.Errorf("%w: transient job fault (job %d, attempt %d)", fault.ErrInjected, i, attempt))
+		}
+	}
 	hook := p.jobDoneHook()
 	if hook == nil {
 		return fn(ctx, s, i)
@@ -337,6 +545,25 @@ func runJob[S, T any](ctx context.Context, p *Pool, s S, i int, fn func(ctx cont
 	return v, err
 }
 
+// backoffSite salts the backoff-length hash away from the injector's
+// decision sites.
+const backoffSite uint64 = 0xBACC0FF
+
+// backoff parks job i between transient attempts: a deterministic burst
+// of scheduler yields whose length grows with the attempt number plus a
+// small seeded jitter. Measuring backoff in yields rather than wall
+// time keeps retried sweeps reproducible and keeps tests fast.
+func backoff(seed uint64, i, attempt int) {
+	shift := attempt
+	if shift > 5 {
+		shift = 5
+	}
+	n := (1 << shift) + int(fault.Mix(seed, backoffSite, uint64(i), uint64(attempt))%8)
+	for k := 0; k < n; k++ {
+		runtime.Gosched()
+	}
+}
+
 // jobDoneHook returns the pool's OnJobDone callback, tolerating nil
 // pools (which Workers already treats as a default pool).
 func (p *Pool) jobDoneHook() func(int, time.Duration) {
@@ -344,6 +571,14 @@ func (p *Pool) jobDoneHook() func(int, time.Duration) {
 		return nil
 	}
 	return p.OnJobDone
+}
+
+// injector returns the pool's fault injector, tolerating nil pools.
+func (p *Pool) injector() *fault.Injector {
+	if p == nil {
+		return nil
+	}
+	return p.Inject
 }
 
 // Progress returns an OnJobDone callback that reports each completed

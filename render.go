@@ -56,10 +56,18 @@ func RenderFigure7(rows []Figure7Row) string {
 	t := report.NewTable("Figure 7: base predictor accuracy (%), history depth 1",
 		"Application", "Cosmos", "MSP", "VMSP")
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.AddRow(r.App, "FAILED", "FAILED", "FAILED")
+			t.AddNote("%s failed: %s", r.App, r.Failed)
+			continue
+		}
 		t.AddRow(r.App, report.Pct(r.Cosmos), report.Pct(r.MSP), report.Pct(r.VMSP))
 	}
 	c := report.NewBarChart("", 100, 40)
 	for _, r := range rows {
+		if r.Failed != "" {
+			continue
+		}
 		c.AddGroup(r.App,
 			"Cosmos", r.Cosmos*100,
 			"MSP", r.MSP*100,
@@ -79,6 +87,15 @@ func RenderFigure8(rows []Figure8Row) string {
 	}
 	t := report.NewTable("Figure 8: predictor accuracy (%) with varying history depth", headers...)
 	for _, r := range rows {
+		if r.Failed != "" {
+			cells := []string{r.App, "FAILED"}
+			for range r.Depths {
+				cells = append(cells, "FAILED")
+			}
+			t.AddRow(cells...)
+			t.AddNote("%s failed: %s", r.App, r.Failed)
+			continue
+		}
 		for _, kind := range Kinds() {
 			cells := []string{r.App, string(kind)}
 			for i := range r.Depths {
@@ -95,6 +112,11 @@ func RenderTable3(rows []Table3Row) string {
 	t := report.NewTable("Table 3: messages predicted (and correctly predicted) %, history depth 1",
 		"Application", "Cosmos", "MSP", "VMSP")
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.AddRow(r.App, "FAILED", "FAILED", "FAILED")
+			t.AddNote("%s failed: %s", r.App, r.Failed)
+			continue
+		}
 		cell := func(k PredictorKind) string {
 			return fmt.Sprintf("%s (%s)", report.Pct(r.Coverage[k]), report.Pct(r.Correct[k]))
 		}
@@ -111,6 +133,14 @@ func RenderTable4(rows []Table4Row) string {
 		"MSP pte d=1", "d=4", "ovh(B)",
 		"VMSP pte d=1", "d=4", "ovh(B)")
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.AddRow(r.App,
+				"FAILED", "FAILED", "FAILED",
+				"FAILED", "FAILED", "FAILED",
+				"FAILED", "FAILED", "FAILED")
+			t.AddNote("%s failed: %s", r.App, r.Failed)
+			continue
+		}
 		t.AddRow(r.App,
 			report.F1(r.PTE1[Cosmos]), report.F1(r.PTE4[Cosmos]), report.F1(r.Bytes[Cosmos]),
 			report.F1(r.PTE1[MSP]), report.F1(r.PTE4[MSP]), report.F1(r.Bytes[MSP]),
@@ -129,23 +159,39 @@ func RenderFigure9(rows []Figure9Row) string {
 		return fmt.Sprintf("%5.1f (%4.1f+%4.1f)", p[0]+p[1], p[0], p[1])
 	}
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.AddRow(r.App, "FAILED", "FAILED", "FAILED")
+			t.AddNote("%s failed: %s", r.App, r.Failed)
+			continue
+		}
 		t.AddRow(r.App, cell(r.Base), cell(r.FR), cell(r.SWI))
 	}
 	c := report.NewBarChart("", 110, 44)
 	for _, r := range rows {
+		if r.Failed != "" {
+			continue
+		}
 		c.AddGroup(r.App,
 			"Base", r.Base[0]+r.Base[1],
 			"FR  ", r.FR[0]+r.FR[1],
 			"SWI ", r.SWI[0]+r.SWI[1])
 	}
-	var frSum, swiSum float64
+	// The mean covers completed applications only; FAILED rows would
+	// otherwise drag it toward zero.
+	var frSum, swiSum, n float64
 	for _, r := range rows {
+		if r.Failed != "" {
+			continue
+		}
 		frSum += r.Total(ModeFR)
 		swiSum += r.Total(ModeSWI)
+		n++
 	}
-	n := float64(len(rows))
 	summary := fmt.Sprintf("mean execution time: FR-DSM %.1f%%, SWI-DSM %.1f%% of Base-DSM (paper: 92%%, 88%%)\n",
 		frSum/n, swiSum/n)
+	if n == 0 {
+		summary = "mean execution time: unavailable (all applications failed)\n"
+	}
 	return t.String() + "\n" + c.String() + "\n" + summary
 }
 
@@ -156,6 +202,11 @@ func RenderTable5(rows []Table5Row) string {
 		"FR-DSM read sent/miss %",
 		"SWI-DSM FR read %", "SWI read %", "write inval %")
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.AddRow(r.App, "FAILED", "FAILED", "FAILED", "FAILED", "FAILED", "FAILED")
+			t.AddNote("%s failed: %s", r.App, r.Failed)
+			continue
+		}
 		t.AddRow(r.App,
 			fmt.Sprint(r.BaseReads), fmt.Sprint(r.BaseWrites),
 			fmt.Sprintf("%.0f / %.0f", r.FRSent, r.FRMiss),

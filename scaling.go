@@ -21,23 +21,35 @@ type NodeScaling struct {
 	App   string
 	Nodes int
 	Run   *RunResult
+	// Failed marks a keep-going FAILED cell; Run is nil and the derived
+	// metrics return zero values.
+	Failed string
 }
 
 // Active returns the active predictor's measurements (SWI-DSM attaches
 // it after any observers, so it is always the last entry).
 func (s NodeScaling) Active() PredictorResult {
+	if s.Run == nil {
+		return PredictorResult{}
+	}
 	return s.Run.Predictors[len(s.Run.Predictors)-1]
 }
 
 // Requests is the run's coherence request count (reads + writes +
 // upgrades) — the normalizer for the per-request traffic column.
 func (s NodeScaling) Requests() uint64 {
+	if s.Run == nil {
+		return 0
+	}
 	return s.Run.Reads + s.Run.Writes + s.Run.Upgrades
 }
 
 // SpecReads is the total speculative forwarding activity: directory
 // pushes at writes (FR) plus self-invalidation refetches (SWI).
 func (s NodeScaling) SpecReads() uint64 {
+	if s.Run == nil {
+		return 0
+	}
 	return s.Run.SpecReadsFR + s.Run.SpecReadsSWI
 }
 
@@ -78,7 +90,14 @@ func NodeScalingStudyStream(cfg StudyConfig, nodeCounts []int, emit func(i int, 
 	if err != nil {
 		return err
 	}
-	return sweep.StreamCheckpoint(context.Background(), cfg.pool(n), n, ck, machine.NewArena,
+	p, err := cfg.pool(n)
+	if err != nil {
+		return err
+	}
+	fail := failRow(cfg, emit, func(j int, errText string) NodeScaling {
+		return NodeScaling{App: cfg.Apps[j/k], Nodes: nodeCounts[j%k], Failed: errText}
+	})
+	return sweep.StreamCheckpointFail(context.Background(), p, n, ck, machine.NewArena,
 		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
 			wp := cfg.workloadParams()
 			wp.Nodes = nodeCounts[j%k]
@@ -90,7 +109,8 @@ func NodeScalingStudyStream(cfg StudyConfig, nodeCounts []int, emit func(i int, 
 		},
 		func(j int, r *RunResult) error {
 			return emit(j, NodeScaling{App: cfg.Apps[j/k], Nodes: nodeCounts[j%k], Run: r})
-		})
+		},
+		fail)
 }
 
 // NodeScalingStudy is NodeScalingStudyStream collected into a slice.
@@ -114,6 +134,12 @@ func RenderNodeScaling(rows []NodeScaling) string {
 	t := report.NewTable("Node scaling (beyond paper): SWI-DSM with active VMSP, depth 1",
 		"app", "nodes", "accuracy", "coverage", "spec reads", "unused", "msgs/req", "cycles")
 	for _, r := range rows {
+		if r.Failed != "" {
+			t.AddRow(r.App, fmt.Sprint(r.Nodes),
+				"FAILED", "FAILED", "FAILED", "FAILED", "FAILED", "FAILED")
+			t.AddNote("%s @ %d nodes failed: %s", r.App, r.Nodes, r.Failed)
+			continue
+		}
 		a := r.Active()
 		t.AddRow(r.App, fmt.Sprint(r.Nodes),
 			report.Pct(a.Accuracy), report.Pct(a.Coverage),
