@@ -46,16 +46,10 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 	cfg = cfg.withDefaults()
 	nApps, nModes := len(cfg.Apps), len(specModes)
 	n := len(seeds) * nApps * nModes
-	ck, err := cfg.checkpoint("seeds", n, fmt.Sprintf("|seeds=%v", seeds))
-	if err != nil {
-		return nil, err
-	}
-	p, err := cfg.pool(n)
-	if err != nil {
-		return nil, err
-	}
 	var fr, swi report.Grouped
-	failed := map[string]int{}
+	// failed is lazily allocated: it only exists on runs where some
+	// (seed, app) cell actually failed under KeepGoing.
+	var failed map[string]int
 	// triple is the assembly window: the ordered merge delivers runs
 	// (seed, app, mode)-major, so every nModes deliveries complete one
 	// (seed, app) cell, which normalizes against its own Base run and
@@ -69,6 +63,9 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 		}
 		app := cfg.Apps[(j/nModes)%nApps]
 		if tripleFailure(triple) != "" {
+			if failed == nil {
+				failed = map[string]int{}
+			}
 			failed[app]++
 		} else {
 			base := float64(triple[0].r.Cycles)
@@ -82,22 +79,9 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 	if cfg.KeepGoing {
 		fail = func(j int, jerr error) error { return push(j, nil, jerr.Error()) }
 	}
-	err = sweep.StreamCheckpointFail(context.Background(), p, n, ck, machine.NewArena,
-		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
-			wp := cfg.workloadParams()
-			wp.Seed = seeds[j/(nApps*nModes)]
-			if wp.Seed == 0 {
-				wp.Seed = 1
-			}
-			w, err := AppWorkload(cfg.Apps[(j/nModes)%nApps], wp)
-			if err != nil {
-				return nil, err
-			}
-			return runInArena(arena, w, MachineOptions{
-				Mode:          specModes[j%nModes],
-				DisableChecks: cfg.DisableChecks,
-			})
-		},
+	rs := cfg.remoteSpec("seeds")
+	rs.Seeds = seeds
+	err := streamStudy(cfg, rs, n, fmt.Sprintf("|seeds=%v", seeds), seedsJob(cfg, seeds),
 		func(j int, r *RunResult) error { return push(j, r, "") },
 		fail)
 	if err != nil {
@@ -121,6 +105,29 @@ func SpeculationStudySeeds(cfg StudyConfig, seeds []int64) ([]Figure9Aggregate, 
 		})
 	}
 	return out, nil
+}
+
+// seedsJob builds the multi-seed speculation study's job function:
+// (seed, app, mode)-major over the seeds×apps×modes matrix. Shared
+// between the in-process pool and remote workers.
+func seedsJob(cfg StudyConfig, seeds []int64) func(context.Context, *machine.Arena, int) (*RunResult, error) {
+	apps, baseWP, checks := cfg.Apps, cfg.workloadParams(), cfg.DisableChecks
+	nApps, nModes := len(apps), len(specModes)
+	return func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
+		wp := baseWP
+		wp.Seed = seeds[j/(nApps*nModes)]
+		if wp.Seed == 0 {
+			wp.Seed = 1
+		}
+		w, err := AppWorkload(apps[(j/nModes)%nApps], wp)
+		if err != nil {
+			return nil, err
+		}
+		return runInArena(arena, w, MachineOptions{
+			Mode:          specModes[j%nModes],
+			DisableChecks: checks,
+		})
+	}
 }
 
 // RenderFigure9Aggregate prints the multi-seed Figure 9.
@@ -197,15 +204,7 @@ func RTLSweepStream(cfg StudyConfig, app string, p WorkloadParams, flights []int
 	}
 	cfg = cfg.withDefaults()
 	n := 2 * len(flights)
-	ck, err := cfg.checkpoint("rtl", n, fmt.Sprintf("|rtl=%s/%+v/%v", app, p, flights))
-	if err != nil {
-		return err
-	}
 	w, err := AppWorkload(app, p)
-	if err != nil {
-		return err
-	}
-	pool, err := cfg.pool(n)
 	if err != nil {
 		return err
 	}
@@ -234,16 +233,24 @@ func RTLSweepStream(cfg StudyConfig, app string, p WorkloadParams, flights []int
 	if cfg.KeepGoing {
 		fail = func(j int, jerr error) error { return push(j, nil, jerr.Error()) }
 	}
-	return sweep.StreamCheckpointFail(context.Background(), pool, n, ck, machine.NewArena,
-		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
-			mode := ModeBase
-			if j%2 == 1 {
-				mode = ModeSWI
-			}
-			return runInArena(arena, w, MachineOptions{Mode: mode, NetworkFlight: flights[j/2], DisableChecks: true})
-		},
+	rs := cfg.remoteSpec("rtl")
+	rs.RTLApp, rs.RTLParams, rs.RTLFlights = app, p, flights
+	return streamStudy(cfg, rs, n, fmt.Sprintf("|rtl=%s/%+v/%v", app, p, flights), rtlJob(w, flights),
 		func(j int, r *RunResult) error { return push(j, r, "") },
 		fail)
+}
+
+// rtlJob builds the rtl sweep's job function: flight j/2 of the axis,
+// Base for even j, SWI for odd. Shared between the in-process pool and
+// remote workers (which regenerate w from the spec's app and params).
+func rtlJob(w Workload, flights []int) func(context.Context, *machine.Arena, int) (*RunResult, error) {
+	return func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
+		mode := ModeBase
+		if j%2 == 1 {
+			mode = ModeSWI
+		}
+		return runInArena(arena, w, MachineOptions{Mode: mode, NetworkFlight: flights[j/2], DisableChecks: true})
+	}
 }
 
 // rtlFailure joins the failed modes of an assembled {Base, SWI} pair.

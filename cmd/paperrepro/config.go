@@ -60,6 +60,7 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 		retries  = fs.Int("retries", 0, "retry budget per simulation for transient failures (0 = fail fast)")
 		keep     = fs.Bool("keep-going", false, "record fatally failed simulations as FAILED rows and continue instead of aborting")
 		faults   = fs.String("faults", "", "fault-injection spec for robustness testing, e.g. seed=7,transient=0.2,panic=0.01,delay=0.5 (see internal/fault)")
+		remote   = fs.String("remote", "", "comma-separated sweepd workers (host:port) to fan simulations out to; output stays byte-identical to -parallel 1")
 		crash    = fs.Int("crash-after", 0, "crash-injection test hook: exit(3) after N completed simulations")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +109,13 @@ func parseOptions(args []string, errOut io.Writer) (options, error) {
 			return options{}, err
 		}
 		o.Cfg.Apps = list
+	}
+	if *remote != "" {
+		list, err := splitList("-remote", *remote)
+		if err != nil {
+			return options{}, err
+		}
+		o.Cfg.Remote = list
 	}
 	if o.Only != "" && !validExperiment(o.Only) {
 		return options{}, fmt.Errorf("paperrepro: unknown experiment %q (have %s)",

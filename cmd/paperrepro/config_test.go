@@ -113,6 +113,43 @@ func TestParseOptionsErrors(t *testing.T) {
 	}
 }
 
+func TestParseOptionsRemote(t *testing.T) {
+	o, err := parseOptions(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Cfg.Remote) != 0 {
+		t.Fatalf("remote dispatch must default off, got %v", o.Cfg.Remote)
+	}
+	o, err = parseOptions([]string{"-remote", "127.0.0.1:7701, 127.0.0.1:7702"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o.Cfg.Remote, []string{"127.0.0.1:7701", "127.0.0.1:7702"}) {
+		t.Fatalf("Remote = %v", o.Cfg.Remote)
+	}
+
+	// Bad shard lists are wrong invocations (exit 2 via parse error),
+	// not runtime failures discovered after hours of simulation.
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"bad host", []string{"-remote", "nonsense"}, "want host:port"},
+		{"empty entry", []string{"-remote", "127.0.0.1:7701,,127.0.0.1:7702"}, "empty entry"},
+		{"blank list", []string{"-remote", " , "}, "empty entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want substring %q", err, tc.frag)
+			}
+		})
+	}
+}
+
 func TestParseOptionsProfileFlags(t *testing.T) {
 	o, err := parseOptions(nil, io.Discard)
 	if err != nil {

@@ -25,6 +25,10 @@
 //	                           # (plus a manifest) instead of aborting
 //	paperrepro -faults seed=7,transient=0.2
 //	                           # deterministic fault injection (testing)
+//	paperrepro -remote 127.0.0.1:7701,127.0.0.1:7702
+//	                           # fan simulations out to sweepd workers;
+//	                           # dead shards are re-dispatched, output is
+//	                           # still byte-identical to -parallel 1
 //
 // Simulated results depend only on the flags (runs are deterministic):
 // the sweep engine merges parallel simulation results back in submission
@@ -154,6 +158,11 @@ func run(o options) error {
 		// carries only the reproduced tables/figures, byte-identical
 		// either way).
 		cfg.Progress = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		// With a shard fleet, surface its lifecycle (connects, deaths,
+		// reconnects, degradation) on stderr too.
+		cfg.RemoteLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "paperrepro: remote: "+format+"\n", args...)
+		}
 	}
 	if o.CrashAfter > 0 {
 		// Deterministic crash injection for the checkpoint-resume gate in

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"strings"
 
 	"specdsm"
@@ -26,7 +27,22 @@ type runSpec struct {
 	// Retries is the per-simulation retry budget for transient failures.
 	Retries int
 	// Inject arms deterministic fault injection (nil = off; testing).
-	Inject   *fault.Injector
+	Inject *fault.Injector
+	// FaultSpec is the raw -faults spec (Inject is its parsed form); the
+	// app sweep ships it through StudyConfig so remote shards apply the
+	// identical schedule.
+	FaultSpec string
+	// KeepGoing prints fatally failed simulations as FAILED blocks and
+	// continues instead of aborting the sweep (app sweeps only).
+	KeepGoing bool
+	// Checkpoint/Resume/Salvage/CheckpointEvery persist and resume the
+	// app sweep exactly as in paperrepro (see StudyConfig).
+	Checkpoint      string
+	Resume          bool
+	Salvage         bool
+	CheckpointEvery int
+	// Remote fans the app sweep out to sweepd shard workers (host:port).
+	Remote   []string
 	TraceOut string
 	List     bool
 }
@@ -54,6 +70,12 @@ func parseRun(args []string, errOut io.Writer) (runSpec, error) {
 		parallel  = fs.Int("parallel", 0, "concurrent simulations for multi-app runs (0 = one per CPU)")
 		retries   = fs.Int("retries", 0, "retry budget per simulation for transient failures (0 = fail fast)")
 		faults    = fs.String("faults", "", "fault-injection spec for robustness testing, e.g. seed=7,transient=0.2")
+		keep      = fs.Bool("keep-going", false, "print fatally failed simulations as FAILED blocks and continue instead of aborting (multi-app runs)")
+		ckpt      = fs.String("checkpoint", "", "checkpoint the app sweep to this base path (PATH.sweep)")
+		resume    = fs.Bool("resume", false, "resume from a -checkpoint file left by an interrupted run")
+		salvage   = fs.Bool("resume-salvage", false, "like -resume, but truncate a corrupted checkpoint to its longest valid prefix instead of failing")
+		ckEvery   = fs.Int("checkpoint-every", 0, "flush the checkpoint every N completed simulations (0 = default cadence)")
+		remoteF   = fs.String("remote", "", "comma-separated sweepd workers (host:port) to fan the app sweep out to; output stays byte-identical to -parallel 1")
 		list      = fs.Bool("list", false, "list applications and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,15 +86,30 @@ func parseRun(args []string, errOut io.Writer) (runSpec, error) {
 	}
 
 	s := runSpec{
-		Pattern:  *pattern,
-		WP:       specdsm.WorkloadParams{Nodes: *nodes, Iterations: *iters, Scale: *scale, Seed: *seed},
-		Parallel: *parallel,
-		Retries:  *retries,
-		TraceOut: *traceOut,
-		List:     *list,
+		Pattern:         *pattern,
+		WP:              specdsm.WorkloadParams{Nodes: *nodes, Iterations: *iters, Scale: *scale, Seed: *seed},
+		Parallel:        *parallel,
+		Retries:         *retries,
+		FaultSpec:       *faults,
+		KeepGoing:       *keep,
+		Checkpoint:      *ckpt,
+		Resume:          *resume || *salvage,
+		Salvage:         *salvage,
+		CheckpointEvery: *ckEvery,
+		TraceOut:        *traceOut,
+		List:            *list,
 	}
 	if s.Retries < 0 {
 		return runSpec{}, fmt.Errorf("specdsm: -retries must not be negative, got %d", s.Retries)
+	}
+	if s.CheckpointEvery < 0 {
+		return runSpec{}, fmt.Errorf("specdsm: -checkpoint-every must be positive, got %d", s.CheckpointEvery)
+	}
+	if s.Resume && s.Checkpoint == "" {
+		if s.Salvage {
+			return runSpec{}, fmt.Errorf("specdsm: -resume-salvage requires -checkpoint")
+		}
+		return runSpec{}, fmt.Errorf("specdsm: -resume requires -checkpoint")
 	}
 	if *faults != "" {
 		inj, err := fault.ParseSpec(*faults)
@@ -90,6 +127,18 @@ func parseRun(args []string, errOut io.Writer) (runSpec, error) {
 			s.Apps = append(s.Apps, a)
 		}
 	}
+	if *remoteF != "" {
+		for _, h := range strings.Split(*remoteF, ",") {
+			h = strings.TrimSpace(h)
+			if h == "" {
+				return runSpec{}, fmt.Errorf("specdsm: empty entry in -remote %q", *remoteF)
+			}
+			if _, _, err := net.SplitHostPort(h); err != nil {
+				return runSpec{}, fmt.Errorf("specdsm: invalid -remote shard address %q (want host:port): %v", h, err)
+			}
+			s.Remote = append(s.Remote, h)
+		}
+	}
 	if s.List {
 		return s, nil
 	}
@@ -101,6 +150,19 @@ func parseRun(args []string, errOut io.Writer) (runSpec, error) {
 	}
 	if s.TraceOut != "" && len(s.Apps) > 1 {
 		return runSpec{}, fmt.Errorf("specdsm: -trace-out needs a single workload, got %d apps", len(s.Apps))
+	}
+	// The sweep machinery (checkpointing, keep-going, remote dispatch)
+	// drives the app sweep; a single -pattern or -trace-out run has no
+	// job space for it to manage.
+	if s.Pattern != "" || s.TraceOut != "" {
+		switch {
+		case len(s.Remote) > 0:
+			return runSpec{}, fmt.Errorf("specdsm: -remote needs an -app sweep")
+		case s.Checkpoint != "":
+			return runSpec{}, fmt.Errorf("specdsm: -checkpoint needs an -app sweep")
+		case s.KeepGoing:
+			return runSpec{}, fmt.Errorf("specdsm: -keep-going needs an -app sweep")
+		}
 	}
 
 	s.Opts = specdsm.MachineOptions{

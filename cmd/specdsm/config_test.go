@@ -148,6 +148,55 @@ func TestRunMultiAppOutputMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestParseRunSweepFlags(t *testing.T) {
+	s, err := parseRun([]string{
+		"-app", "em3d,moldyn",
+		"-remote", "127.0.0.1:7701, 127.0.0.1:7702",
+		"-keep-going", "-checkpoint", "run.ck", "-resume-salvage", "-checkpoint-every", "2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Remote, []string{"127.0.0.1:7701", "127.0.0.1:7702"}) {
+		t.Fatalf("Remote = %v", s.Remote)
+	}
+	if !s.KeepGoing || s.Checkpoint != "run.ck" || s.CheckpointEvery != 2 {
+		t.Fatalf("sweep flags not threaded into spec: %+v", s)
+	}
+	if !s.Salvage || !s.Resume {
+		t.Fatalf("-resume-salvage must imply Resume, got %+v", s)
+	}
+}
+
+// TestParseRunSweepFlagErrors pins exit-2 validation for the sweep
+// machinery flags: bad or empty -remote entries, resume without a
+// checkpoint, and sweep-only flags on non-sweep runs are all caught at
+// parse time rather than surfacing as runtime failures.
+func TestParseRunSweepFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"remote bad host", []string{"-app", "em3d", "-remote", "nonsense"}, "want host:port"},
+		{"remote empty entry", []string{"-app", "em3d", "-remote", "127.0.0.1:7701,,127.0.0.1:7702"}, "empty entry"},
+		{"remote with pattern", []string{"-pattern", "migratory", "-remote", "127.0.0.1:7701"}, "-remote needs an -app sweep"},
+		{"checkpoint with pattern", []string{"-pattern", "migratory", "-checkpoint", "ck"}, "-checkpoint needs an -app sweep"},
+		{"keep-going with trace", []string{"-app", "em3d", "-trace-out", "t.log", "-keep-going"}, "-keep-going needs an -app sweep"},
+		{"resume without checkpoint", []string{"-app", "em3d", "-resume"}, "-resume requires -checkpoint"},
+		{"salvage without checkpoint", []string{"-app", "em3d", "-resume-salvage"}, "-resume-salvage requires -checkpoint"},
+		{"negative checkpoint cadence", []string{"-app", "em3d", "-checkpoint", "ck", "-checkpoint-every", "-2"}, "-checkpoint-every"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseRun(tc.args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want substring %q", err, tc.frag)
+			}
+		})
+	}
+}
+
 func TestParseRunFailureFlags(t *testing.T) {
 	s, err := parseRun([]string{"-app", "em3d", "-retries", "2", "-faults", "seed=5,transient=0.1"}, io.Discard)
 	if err != nil {

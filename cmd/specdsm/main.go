@@ -7,10 +7,18 @@
 //	specdsm -pattern producer-consumer -mode swi -nodes 4
 //	specdsm -app moldyn -mode swi -predictor MSP -depth 2
 //	specdsm -app moldyn -mode swi -spec-upgrades
+//	specdsm -app em3d,moldyn,ocean -checkpoint run.ck -resume
+//	specdsm -app em3d,moldyn,ocean -keep-going
+//	specdsm -app em3d,moldyn,ocean -remote 127.0.0.1:7701,127.0.0.1:7702
 //
 // With a comma-separated -app list the simulations fan out across a
 // -parallel-wide worker pool; reports stream out in the order the apps
-// were named, independent of completion order.
+// were named, independent of completion order. App sweeps get the full
+// sweep machinery paperrepro has: -checkpoint/-resume/-resume-salvage
+// persist and continue interrupted runs, -keep-going prints fatally
+// failed simulations as FAILED blocks instead of aborting, and -remote
+// fans the sweep out to sweepd shard workers — in every case the report
+// stream stays byte-identical to a plain -parallel 1 run.
 package main
 
 import (
@@ -41,7 +49,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(spec, os.Stdout); err != nil {
+	err = run(spec, os.Stdout)
+	var km *sweep.KeyMismatchError
+	if errors.As(err, &km) {
+		// Same wrong-invocation diagnosis as paperrepro: the checkpoint
+		// is intact but belongs to a different sweep configuration.
+		fmt.Fprintf(os.Stderr, "specdsm: checkpoint %s was recorded under different sweep parameters:\n", km.Path)
+		for _, line := range km.Diff() {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		fmt.Fprintf(os.Stderr, "fix: rerun with the flags listed above, or remove %s to start this configuration fresh\n", km.Path)
+		os.Exit(2)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -70,20 +90,66 @@ func run(spec runSpec, out io.Writer) error {
 		return writeReport(out, r, workloads[0].Ops(), spec.Opts)
 	}
 
-	p := sweep.New(spec.Parallel)
-	p.Retries = spec.Retries
-	p.RetrySeed = uint64(spec.WP.Seed)
-	p.Inject = spec.Inject
-	return sweep.Stream(context.Background(), p, len(workloads),
-		func(_ context.Context, i int) (*specdsm.RunResult, error) {
-			return specdsm.Run(workloads[i], spec.Opts)
-		},
+	if spec.Pattern != "" {
+		// Micro-patterns are a single direct run; the sweep machinery
+		// below is app-sweep-only (parseRun enforces that).
+		p := sweep.New(spec.Parallel)
+		p.Retries = spec.Retries
+		p.RetrySeed = uint64(spec.WP.Seed)
+		p.Inject = spec.Inject
+		return sweep.Stream(context.Background(), p, len(workloads),
+			func(_ context.Context, i int) (*specdsm.RunResult, error) {
+				return specdsm.Run(workloads[i], spec.Opts)
+			},
+			func(i int, r *specdsm.RunResult) error {
+				return writeReport(out, r, workloads[i].Ops(), spec.Opts)
+			})
+	}
+
+	// App sweeps run through the library's study engine, which layers
+	// checkpoint/resume, keep-going, and remote shard dispatch over the
+	// worker pool. The engine merges results in index order, so the
+	// report stream is byte-identical to the old direct path — and to
+	// itself at any -parallel value or -remote fleet size.
+	cfg := specdsm.StudyConfig{
+		Apps:            spec.Apps,
+		Nodes:           spec.WP.Nodes,
+		Iterations:      spec.WP.Iterations,
+		Scale:           spec.WP.Scale,
+		Seed:            spec.WP.Seed,
+		Parallel:        spec.Parallel,
+		Retries:         spec.Retries,
+		FaultSpec:       spec.FaultSpec,
+		KeepGoing:       spec.KeepGoing,
+		CheckpointPath:  spec.Checkpoint,
+		Resume:          spec.Resume,
+		Salvage:         spec.Salvage,
+		CheckpointEvery: spec.CheckpointEvery,
+		Remote:          spec.Remote,
+	}
+	if spec.Salvage {
+		cfg.OnSalvage = func(study string, rep sweep.SalvageReport) {
+			fmt.Fprintf(os.Stderr, "specdsm: checkpoint %s.%s: salvaged %d rows, dropped %d bytes (%s)\n",
+				spec.Checkpoint, study, rep.Rows, rep.DroppedBytes, rep.Reason)
+		}
+	}
+	var fail sweep.FailFunc
+	if spec.KeepGoing {
+		fail = func(i int, ferr error) error {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			_, werr := fmt.Fprintf(out, "workload            %s\nFAILED              %v\n", spec.Apps[i], ferr)
+			return werr
+		}
+	}
+	return specdsm.RunSweepStream(cfg, spec.Opts,
 		func(i int, r *specdsm.RunResult) error {
 			if i > 0 {
 				fmt.Fprintln(out)
 			}
 			return writeReport(out, r, workloads[i].Ops(), spec.Opts)
-		})
+		}, fail)
 }
 
 // writeReport prints one run's measurement block. The block is staged

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseDaemonDefaults(t *testing.T) {
+	s, err := parseDaemon(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Listen != "127.0.0.1:0" || s.Inject != nil || s.HeartbeatEvery != 0 {
+		t.Fatalf("defaults parsed into %+v", s)
+	}
+}
+
+func TestParseDaemonFlags(t *testing.T) {
+	s, err := parseDaemon([]string{
+		"-listen", "0.0.0.0:7701",
+		"-faults", "seed=7,conndrop=0.01,connshort=0.2,conndelay=0.1",
+		"-heartbeat-every", "100ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Listen != "0.0.0.0:7701" || s.HeartbeatEvery != 100*time.Millisecond {
+		t.Fatalf("flags parsed into %+v", s)
+	}
+	if s.Inject == nil || s.Inject.ConnDrop != 0.01 {
+		t.Fatalf("faults parsed into %+v", s.Inject)
+	}
+}
+
+// TestParseDaemonRejectsJobFaults pins that a worker refuses job-level
+// fault keys: job faults must come from the dispatcher's spec so every
+// executor applies the identical schedule.
+func TestParseDaemonRejectsJobFaults(t *testing.T) {
+	for _, spec := range []string{"transient=0.2", "panic=0.1", "delay=0.5", "seed=7,transient=0.2"} {
+		_, err := parseDaemon([]string{"-faults", spec}, io.Discard)
+		if err == nil {
+			t.Errorf("parseDaemon accepted job-level fault spec %q", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "not a connection-level fault") {
+			t.Errorf("spec %q: unexpected error %v", spec, err)
+		}
+	}
+}
+
+func TestParseDaemonErrors(t *testing.T) {
+	cases := [][]string{
+		{"-heartbeat-every", "-1s"},
+		{"-faults", "conndrop=2"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		if _, err := parseDaemon(args, io.Discard); err == nil {
+			t.Errorf("parseDaemon(%v) accepted", args)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"net"
 	"runtime"
 	"strings"
 	"time"
@@ -90,10 +91,26 @@ type StudyConfig struct {
 	// every simulation job, in the internal/fault spec syntax, e.g.
 	// "seed=7,transient=0.2,delay=0.5". Injected transient faults
 	// compose with Retries; injected panics are fatal (KeepGoing turns
-	// them into FAILED rows). Exists for robustness testing — the chaos
+	// them into FAILED rows). Connection-level keys (conndrop,
+	// connshort, conndelay) apply to the dispatcher's shard connections
+	// when Remote is set. Exists for robustness testing — the chaos
 	// harness runs real studies under this knob and byte-compares their
 	// output against clean runs.
 	FaultSpec string
+	// Remote, when non-empty, fans the study's simulation jobs out to
+	// sweepd shard workers at these host:port addresses instead of an
+	// in-process pool. The dispatcher (internal/remote) heartbeats every
+	// shard, re-dispatches work from dead or straggling ones, and
+	// degrades down to in-process execution when no shard is reachable;
+	// results stream back in index order, so output — including
+	// checkpoint contents — is byte-identical to a local Parallel: 1 run
+	// at any shard count and under any shard failures. Parallel is
+	// ignored on this path (the fleet is the parallelism).
+	Remote []string
+	// RemoteLogf, when non-nil, receives the dispatcher's shard
+	// lifecycle diagnostics (connects, deaths, reconnects). Purely
+	// informational.
+	RemoteLogf func(format string, args ...any)
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -231,51 +248,49 @@ func (a AppPrediction) Get(kind PredictorKind, depth int) PredictorResult {
 // worker replaying its jobs through one run arena.
 func PredictorStudyStream(cfg StudyConfig, emit func(i int, row AppPrediction) error) error {
 	cfg = cfg.withDefaults()
-	var observers []PredictorConfig
+	n := len(cfg.Apps)
+	fail := failRow(cfg, emit, func(i int, errText string) AppPrediction {
+		return AppPrediction{App: cfg.Apps[i], Failed: errText}
+	})
+	return streamStudy(cfg, cfg.remoteSpec("predictor"), n, "", predictorJob(cfg), emit, fail)
+}
+
+// predictorJob builds the predictor study's job function: application i
+// of cfg.Apps run once under Base-DSM with every predictor variant
+// observing. Shared between the in-process pool and remote workers.
+func predictorJob(cfg StudyConfig) func(context.Context, *machine.Arena, int) (AppPrediction, error) {
+	observers := make([]PredictorConfig, 0, len(Kinds())*len(cfg.Depths))
 	for _, kind := range Kinds() {
 		for _, d := range cfg.Depths {
 			observers = append(observers, PredictorConfig{Kind: kind, Depth: d})
 		}
 	}
-	n := len(cfg.Apps)
-	ck, err := cfg.checkpoint("predictor", n, "")
-	if err != nil {
-		return err
+	return func(_ context.Context, arena *machine.Arena, i int) (AppPrediction, error) {
+		app := cfg.Apps[i]
+		w, err := AppWorkload(app, cfg.workloadParams())
+		if err != nil {
+			return AppPrediction{}, err
+		}
+		res, err := runInArena(arena, w, MachineOptions{
+			Mode:          ModeBase,
+			Observers:     observers,
+			DisableChecks: cfg.DisableChecks,
+		})
+		if err != nil {
+			return AppPrediction{}, err
+		}
+		ap := AppPrediction{
+			App:      app,
+			Results:  make(map[PredictorConfig]PredictorResult),
+			Reads:    res.Reads,
+			Writes:   res.Writes,
+			Upgrades: res.Upgrades,
+		}
+		for _, pr := range res.Predictors {
+			ap.Results[PredictorConfig{Kind: pr.Kind, Depth: pr.Depth}] = pr
+		}
+		return ap, nil
 	}
-	pool, err := cfg.pool(n)
-	if err != nil {
-		return err
-	}
-	fail := failRow(cfg, emit, func(i int, errText string) AppPrediction {
-		return AppPrediction{App: cfg.Apps[i], Failed: errText}
-	})
-	return sweep.StreamCheckpointFail(context.Background(), pool, n, ck, machine.NewArena,
-		func(_ context.Context, arena *machine.Arena, i int) (AppPrediction, error) {
-			app := cfg.Apps[i]
-			w, err := AppWorkload(app, cfg.workloadParams())
-			if err != nil {
-				return AppPrediction{}, err
-			}
-			res, err := runInArena(arena, w, MachineOptions{
-				Mode:          ModeBase,
-				Observers:     observers,
-				DisableChecks: cfg.DisableChecks,
-			})
-			if err != nil {
-				return AppPrediction{}, err
-			}
-			ap := AppPrediction{
-				App:      app,
-				Results:  make(map[PredictorConfig]PredictorResult),
-				Reads:    res.Reads,
-				Writes:   res.Writes,
-				Upgrades: res.Upgrades,
-			}
-			for _, pr := range res.Predictors {
-				ap.Results[PredictorConfig{Kind: pr.Kind, Depth: pr.Depth}] = pr
-			}
-			return ap, nil
-		}, emit, fail)
 }
 
 // PredictorStudy is PredictorStudyStream collected into a slice — the
@@ -323,14 +338,6 @@ func SpeculationStudyStream(cfg StudyConfig, emit func(i int, row AppSpeculation
 	cfg = cfg.withDefaults()
 	nModes := len(specModes)
 	n := len(cfg.Apps) * nModes
-	ck, err := cfg.checkpoint("speculation", n, "")
-	if err != nil {
-		return err
-	}
-	pool, err := cfg.pool(n)
-	if err != nil {
-		return err
-	}
 	// triple is the assembly window: the ordered merge delivers runs
 	// mode-major (apps outer, Base/FR/SWI inner), so an application's
 	// row completes every nModes emissions. In keep-going mode a failed
@@ -353,20 +360,27 @@ func SpeculationStudyStream(cfg StudyConfig, emit func(i int, row AppSpeculation
 	if cfg.KeepGoing {
 		fail = func(j int, err error) error { return push(j, nil, err.Error()) }
 	}
-	wp := cfg.workloadParams()
-	return sweep.StreamCheckpointFail(context.Background(), pool, n, ck, machine.NewArena,
-		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
-			// Workload generation is served by the process-wide cache, so
-			// the three mode runs of an application share one program set
-			// no matter which workers claim them.
-			w, err := AppWorkload(cfg.Apps[j/nModes], wp)
-			if err != nil {
-				return nil, err
-			}
-			return runInArena(arena, w, MachineOptions{Mode: specModes[j%nModes], DisableChecks: cfg.DisableChecks})
-		},
+	return streamStudy(cfg, cfg.remoteSpec("speculation"), n, "", speculationJob(cfg),
 		func(j int, r *RunResult) error { return push(j, r, "") },
 		fail)
+}
+
+// speculationJob builds the speculation study's job function: run
+// j%3 ∈ {Base, FR, SWI} of application j/3. Shared between the
+// in-process pool and remote workers.
+func speculationJob(cfg StudyConfig) func(context.Context, *machine.Arena, int) (*RunResult, error) {
+	apps, wp, checks := cfg.Apps, cfg.workloadParams(), cfg.DisableChecks
+	nModes := len(specModes)
+	return func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
+		// Workload generation is served by the process-wide cache, so
+		// the three mode runs of an application share one program set
+		// no matter which workers claim them.
+		w, err := AppWorkload(apps[j/nModes], wp)
+		if err != nil {
+			return nil, err
+		}
+		return runInArena(arena, w, MachineOptions{Mode: specModes[j%nModes], DisableChecks: checks})
+	}
 }
 
 // modeRun is one slot of a mode-major assembly window: a completed run
@@ -700,6 +714,11 @@ func (c StudyConfig) Validate() error {
 	if cc.FaultSpec != "" {
 		if _, err := fault.ParseSpec(cc.FaultSpec); err != nil {
 			return fmt.Errorf("specdsm: %w", err)
+		}
+	}
+	for _, h := range cc.Remote {
+		if _, _, err := net.SplitHostPort(h); err != nil {
+			return fmt.Errorf("specdsm: invalid remote shard address %q (want host:port): %v", h, err)
 		}
 	}
 	return nil

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Conn wraps a net.Conn with the injector's connection-fault schedule:
+// drops that break the connection mid-operation, short reads that
+// deliver a correct prefix of the requested bytes, and artificial
+// scheduling delays. Decisions are drawn per operation from the
+// connection's own counter, so a fixed seed yields a fixed fault script
+// over the connection's lifetime regardless of goroutine interleaving.
+//
+// A drop closes the underlying connection, so every later operation
+// fails too — the same view a dispatcher gets of a shard that died or
+// fell off the network. Short reads never corrupt data: the bytes
+// delivered are the real stream prefix, exercising the peer's
+// io.ReadFull reassembly rather than its checksum path.
+type Conn struct {
+	in *Injector
+	c  net.Conn
+	op atomic.Uint64
+}
+
+// Wrap dresses c in the injector's connection-fault schedule. A nil
+// injector or one with all connection rates zero returns c unchanged,
+// so the production path pays nothing.
+func Wrap(in *Injector, c net.Conn) net.Conn {
+	if in == nil || (in.ConnDrop <= 0 && in.ConnShort <= 0 && in.ConnDelay <= 0) {
+		return c
+	}
+	return &Conn{in: in, c: c}
+}
+
+func (fc *Conn) Read(p []byte) (int, error) {
+	op := fc.op.Add(1)
+	fc.in.connDelay(op)
+	if fc.in.connDrop(op) {
+		fc.c.Close()
+		return 0, fmt.Errorf("%w: conn drop (read op %d)", ErrInjected, op)
+	}
+	if n, short := fc.in.connShort(op, len(p)); short {
+		return fc.c.Read(p[:n])
+	}
+	return fc.c.Read(p)
+}
+
+func (fc *Conn) Write(p []byte) (int, error) {
+	op := fc.op.Add(1)
+	fc.in.connDelay(op)
+	if fc.in.connDrop(op) {
+		// A real mid-write failure can leave a prefix on the wire; the
+		// peer sees a torn frame followed by EOF.
+		n, _ := fc.c.Write(p[:len(p)/2])
+		fc.c.Close()
+		return n, fmt.Errorf("%w: conn drop (write op %d, %d of %d bytes)", ErrInjected, op, n, len(p))
+	}
+	return fc.c.Write(p)
+}
+
+func (fc *Conn) Close() error                       { return fc.c.Close() }
+func (fc *Conn) LocalAddr() net.Addr                { return fc.c.LocalAddr() }
+func (fc *Conn) RemoteAddr() net.Addr               { return fc.c.RemoteAddr() }
+func (fc *Conn) SetDeadline(t time.Time) error      { return fc.c.SetDeadline(t) }
+func (fc *Conn) SetReadDeadline(t time.Time) error  { return fc.c.SetReadDeadline(t) }
+func (fc *Conn) SetWriteDeadline(t time.Time) error { return fc.c.SetWriteDeadline(t) }

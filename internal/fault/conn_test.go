@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// pipePair returns both ends of an in-memory connection with the client
+// end wrapped in the injector's fault schedule.
+func pipePair(in *Injector) (client net.Conn, server net.Conn) {
+	c, s := net.Pipe()
+	return Wrap(in, c), s
+}
+
+func TestWrapPassthrough(t *testing.T) {
+	c, _ := net.Pipe()
+	if Wrap(nil, c) != c {
+		t.Fatal("Wrap(nil, c) did not return c unchanged")
+	}
+	in := New(1) // all conn rates zero
+	if Wrap(in, c) != c {
+		t.Fatal("Wrap with zero conn rates did not return c unchanged")
+	}
+}
+
+// TestConnShortReadsPreserveData pins the short-read contract: reads may
+// return fewer bytes than asked, but io.ReadFull reassembly recovers the
+// exact stream — short reads perturb framing, never data.
+func TestConnShortReadsPreserveData(t *testing.T) {
+	in := New(11)
+	in.ConnShort = 1.0 // every read is short
+	client, server := pipePair(in)
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 64)
+	go func() {
+		server.Write(payload)
+		server.Close()
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(client, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("short reads corrupted the stream")
+	}
+}
+
+// TestConnShortIsActuallyShort verifies the fault fires: a large read
+// against a willing writer returns a strict prefix.
+func TestConnShortIsActuallyShort(t *testing.T) {
+	in := New(11)
+	in.ConnShort = 1.0
+	client, server := pipePair(in)
+	go server.Write(bytes.Repeat([]byte{0xCD}, 256))
+	buf := make([]byte, 256)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= 256 {
+		t.Fatalf("read returned %d bytes, want a strict non-empty prefix of 256", n)
+	}
+}
+
+// TestConnDropBreaksConnection pins the drop contract: the faulted op
+// reports ErrInjected and the connection is closed, so later operations
+// fail too — a shard death as the peer observes it.
+func TestConnDropBreaksConnection(t *testing.T) {
+	in := New(13)
+	in.ConnDrop = 1.0
+	client, server := pipePair(in)
+	done := make(chan struct{})
+	go func() {
+		// The drop path writes a prefix before closing; drain so the
+		// pipe write cannot block forever.
+		io.Copy(io.Discard, server)
+		close(done)
+	}()
+	if _, err := client.Write([]byte("hello shard")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	<-done
+	if _, err := client.Write([]byte("again")); err == nil {
+		t.Fatal("write after drop succeeded; connection should be closed")
+	}
+}
+
+// TestConnScheduleDeterministic pins that the per-connection fault
+// script depends only on (seed, op): two connections with same-seed
+// injectors draw identical decisions at every operation index.
+func TestConnScheduleDeterministic(t *testing.T) {
+	a, b := New(99), New(99)
+	a.ConnDrop, b.ConnDrop = 0.3, 0.3
+	a.ConnShort, b.ConnShort = 0.3, 0.3
+	for op := uint64(1); op <= 500; op++ {
+		if a.connDrop(op) != b.connDrop(op) {
+			t.Fatalf("connDrop(%d) diverged across same-seed injectors", op)
+		}
+		an, ashort := a.connShort(op, 100)
+		bn, bshort := b.connShort(op, 100)
+		if an != bn || ashort != bshort {
+			t.Fatalf("connShort(%d) diverged: (%d,%v) vs (%d,%v)", op, an, ashort, bn, bshort)
+		}
+		if ashort && (an < 1 || an >= 100) {
+			t.Fatalf("connShort(%d) length %d out of [1,100)", op, an)
+		}
+	}
+}
+
+func TestConnDelayYieldsWithoutFaulting(t *testing.T) {
+	in := New(17)
+	in.ConnDelay = 1.0
+	client, server := pipePair(in)
+	msg := []byte("delayed but intact")
+	go func() {
+		server.Write(msg)
+		server.Close()
+	}()
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("delayed conn returned %q, want %q", got, msg)
+	}
+}
+
+func TestParseSpecConnKeys(t *testing.T) {
+	in, err := ParseSpec("seed=3,conndrop=0.1,connshort=0.2,conndelay=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 3 || in.ConnDrop != 0.1 || in.ConnShort != 0.2 || in.ConnDelay != 0.3 {
+		t.Fatalf("spec parsed into %+v", in)
+	}
+	for _, bad := range []string{"conndrop=2", "connshort=-1", "conndelay=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -44,6 +44,11 @@ const (
 	siteDelayLen  uint64 = 0xDE1A5
 	siteWrite     uint64 = 0x3317E
 	siteRename    uint64 = 0x4E4AE
+	siteConnDrop  uint64 = 0xD40BB
+	siteConnShort uint64 = 0x54027
+	siteConnSLen  uint64 = 0x54028
+	siteConnDelay uint64 = 0xCDE1A
+	siteConnDLen  uint64 = 0xCDE1B
 )
 
 // Injector draws deterministic fault decisions from a seed. The rate
@@ -71,6 +76,20 @@ type Injector struct {
 	// Rename is the per-operation probability that the checkpoint's
 	// atomic snapshot rename fails.
 	Rename float64
+	// ConnDrop is the per-operation probability that a wrapped network
+	// connection (see Wrap) breaks: the op errors and the connection is
+	// closed, so every later op fails too — a shard death or partition
+	// as the dispatcher observes it.
+	ConnDrop float64
+	// ConnShort is the per-read probability that a wrapped connection
+	// returns fewer bytes than asked for. The bytes delivered are
+	// correct — short reads are legal for net.Conn — so this exercises
+	// reassembly (io.ReadFull) rather than corrupting the stream.
+	ConnShort float64
+	// ConnDelay is the per-operation probability of an artificial
+	// scheduling delay on a wrapped connection (a bounded Gosched
+	// burst): a slow-link model that perturbs timing, not data.
+	ConnDelay float64
 }
 
 // New returns an injector with the given seed and all rates zero.
@@ -145,6 +164,38 @@ func (in *Injector) renameFault(op uint64) bool {
 	return in != nil && in.Rename > 0 && in.roll(siteRename, op, 0) < in.Rename
 }
 
+// connDrop reports whether connection operation op draws a drop.
+func (in *Injector) connDrop(op uint64) bool {
+	return in != nil && in.ConnDrop > 0 && in.roll(siteConnDrop, op, 0) < in.ConnDrop
+}
+
+// connShort reports whether connection read op draws a short read, and
+// if so how many of the n requested bytes to deliver (at least one —
+// a zero-byte read would look like EOF to bufio-style callers).
+func (in *Injector) connShort(op uint64, n int) (int, bool) {
+	if in == nil || in.ConnShort <= 0 || n <= 1 ||
+		in.roll(siteConnShort, op, 0) >= in.ConnShort {
+		return n, false
+	}
+	return 1 + int(Mix(in.seed, siteConnSLen, op, 0)%uint64(n-1)), true
+}
+
+// connDelay performs connection operation op's artificial delay, if it
+// draws one: a deterministic-length burst of scheduler yields.
+func (in *Injector) connDelay(op uint64) {
+	if in == nil || in.ConnDelay <= 0 || in.roll(siteConnDelay, op, 0) >= in.ConnDelay {
+		return
+	}
+	max := in.DelayMax
+	if max <= 0 {
+		max = 64
+	}
+	n := 1 + int(Mix(in.seed, siteConnDLen, op, 0)%uint64(max))
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
 // ParseSpec builds an injector from a compact comma-separated spec, the
 // form the CLIs accept:
 //
@@ -192,8 +243,14 @@ func ParseSpec(spec string) (*Injector, error) {
 			in.ShortWrite, err = rate()
 		case "rename":
 			in.Rename, err = rate()
+		case "conndrop":
+			in.ConnDrop, err = rate()
+		case "connshort":
+			in.ConnShort, err = rate()
+		case "conndelay":
+			in.ConnDelay, err = rate()
 		default:
-			return nil, fmt.Errorf("fault: unknown spec key %q (have seed, transient, panic, delay, delaymax, shortwrite, rename)", k)
+			return nil, fmt.Errorf("fault: unknown spec key %q (have seed, transient, panic, delay, delaymax, shortwrite, rename, conndrop, connshort, conndelay)", k)
 		}
 		if err != nil {
 			return nil, err

@@ -1,0 +1,65 @@
+// Package remote shards a deterministic sweep across worker processes:
+// a Dispatcher fans job indices out to long-running sweepd workers over
+// TCP and merges the results back in strict index order, so a study's
+// output — rows, keep-going failures, checkpoint contents — is
+// byte-identical to a local single-worker run at any shard count,
+// under any pattern of shard death, restart, or transport damage.
+//
+// # Wire protocol
+//
+// One connection carries one sweep session. Every frame is a 4-byte
+// little-endian length prefix followed by a fresh gob encoding of the
+// universal msg struct, so the reader resynchronizes per frame and a
+// torn connection never corrupts decoder state shared across frames.
+// The session opens with a handshake — hello (protocol version + the
+// study spec, an opaque byte blob the worker hands to its
+// Server.NewRunner) answered by helloOK or refuse — and then loops:
+//
+//	dispatcher → worker:  exec       seq + a batch of job indices
+//	worker → dispatcher:  jobDone    one job's result or failure text
+//	worker → dispatcher:  batchDone  every index of the batch answered
+//	worker → dispatcher:  heartbeat  liveness while a long job computes
+//
+// Results stream back per job, not per batch, so a worker that dies
+// mid-batch loses only its unanswered indices. A refuse is permanent
+// (the spec cannot get better on retry); any transport error is
+// temporary and handled by reconnection.
+//
+// # Failure handling
+//
+// The dispatcher tracks every job on a lease board. The failure matrix:
+//
+//   - Worker death mid-batch: the connection read fails (or the
+//     per-frame heartbeat deadline expires), the session's leased jobs
+//     return to the board, and another shard — or the same one after
+//     reconnect — re-runs them.
+//   - Silent stall: a shard whose lease outlives StealAfter has its
+//     jobs claimable by idle shards (work-stealing). Heartbeats prove
+//     liveness but deliberately do not refresh leases, so a live
+//     straggler's work is still stolen; duplicate completions settle
+//     first-write-wins, which is safe because every executor computes
+//     the identical result.
+//   - Repeated poison: a job failing MaxRedispatch shard deaths in a
+//     row falls back to the dispatcher's local runner.
+//   - Dead fleet: when no shard is reachable, the local runner claims
+//     jobs directly — graceful degradation to in-process execution.
+//   - Reconnect storms: dial retries use seeded deterministic backoff
+//     (fault.Mix jitter, no wall-clock randomness in results).
+//
+// Job-level failures are not transport failures: a job that fails
+// fatally after its retry budget settles as a Result with Err text and
+// is never re-dispatched.
+//
+// # Determinism
+//
+// Three invariants make shard execution invisible in the output.
+// Results are delivered to the caller in strict index order on one
+// goroutine, regardless of completion order. Every executor — any
+// shard, and the local fallback — rebuilds the job function from the
+// same spec and settles each job under the same retry/fault schedule
+// (sweep.RunOne), so a job's outcome does not depend on where it ran.
+// And duplicate settlements are idempotent by first-write-wins. The
+// fault.Conn seam (connection drops, short reads, scheduling delays)
+// exists so tests can tear the transport while byte-comparing output
+// against a clean local run.
+package remote

@@ -1,0 +1,105 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ProtoVersion is the wire protocol version. The hello/helloOK handshake
+// pins it on both ends, so a stale worker refuses cleanly instead of
+// mis-decoding frames.
+const ProtoVersion = 1
+
+// Message ops. One universal frame type keeps the framing layer dumb:
+// every frame is a length prefix plus a fresh gob of msg, so a reader
+// can resynchronize per frame and a torn connection never corrupts
+// decoder state shared across frames.
+const (
+	opHello     uint8 = iota + 1 // dispatcher → worker: version + study spec
+	opHelloOK                    // worker → dispatcher: spec accepted
+	opRefuse                     // worker → dispatcher: handshake rejected (Err says why)
+	opExec                       // dispatcher → worker: run the job indices in Indices
+	opJobDone                    // worker → dispatcher: one job's result or failure
+	opBatchDone                  // worker → dispatcher: every index of the batch answered
+	opHeartbeat                  // worker → dispatcher: liveness while a long job runs
+)
+
+// msg is the universal wire frame. Unused fields stay zero; gob omits
+// them, so small frames (heartbeats) stay small.
+type msg struct {
+	Op      uint8
+	Proto   int    // opHello
+	Spec    []byte // opHello: gob-encoded study spec
+	Seq     uint64 // opExec / opBatchDone correlation
+	Indices []int  // opExec: absolute job indices to run, in order
+	Index   int    // opJobDone
+	Payload []byte // opJobDone: gob-encoded result row
+	Err     string // opJobDone failure text, opRefuse reason
+	DurNS   int64  // opJobDone: job wall-clock duration
+}
+
+// maxFrame bounds one frame's encoded size; like the checkpoint layer's
+// frame bound it keeps a corrupted length prefix from demanding a
+// multi-gigabyte allocation.
+const maxFrame = 1 << 24
+
+// writeMsg frames m onto w: a 4-byte little-endian length prefix
+// followed by a fresh gob encoding. Encoding into a buffer first means
+// w sees one write per frame — an injected connection drop tears at a
+// frame boundary or inside exactly one frame, never across two.
+func writeMsg(w io.Writer, m *msg) error {
+	var body bytes.Buffer
+	body.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+		return fmt.Errorf("remote: encode frame: %w", err)
+	}
+	n := body.Len() - 4
+	if n > maxFrame {
+		return fmt.Errorf("remote: frame of %d bytes exceeds the %d-byte bound", n, maxFrame)
+	}
+	binary.LittleEndian.PutUint32(body.Bytes()[:4], uint32(n))
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// readMsg reads one frame from r. io.ReadFull reassembles short reads
+// (legal for net.Conn, and exactly what fault.Conn injects), so partial
+// delivery perturbs timing, never content.
+func readMsg(r io.Reader) (*msg, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: frame length %d exceeds the %d-byte bound", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m msg
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("remote: decode frame: %w", err)
+	}
+	return &m, nil
+}
+
+// lockedConn serializes frame writes to one connection. The worker
+// needs it — the heartbeat goroutine and the batch executor share the
+// conn — and the dispatcher gets it for free.
+type lockedConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (lc *lockedConn) write(m *msg) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return writeMsg(lc.c, m)
+}

@@ -729,6 +729,17 @@ func ReplayCheckpointFail[T any](ck *Checkpoint, emit func(i int, v T) error, fa
 	return nil
 }
 
+// ValidateJobs checks that the checkpoint's recorded frames fit a sweep
+// of n jobs, with the same error StreamCheckpointFail reports — for
+// callers that replay the checkpoint themselves and run the remaining
+// indices through another executor (the remote dispatcher).
+func (ck *Checkpoint) ValidateJobs(n int) error {
+	if ck.rows > n {
+		return ck.mismatch("holds %d frames but the sweep has only %d jobs", ck.rows, n)
+	}
+	return nil
+}
+
 // StreamCheckpoint is StreamWorker with persistence: frames already in
 // the checkpoint are replayed through emit without re-running their
 // jobs, the remaining indices run on the pool, and every newly emitted

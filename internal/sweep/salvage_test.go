@@ -2,6 +2,7 @@ package sweep_test
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -154,6 +155,97 @@ func TestSalvageEveryByteOffset(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("offset %d: salvaged+completed output diverged from clean run", off)
 		}
+	}
+}
+
+// frameBoundaries parses a checkpoint file's frame layout and returns
+// every byte offset that ends a whole frame (the header end, then one
+// offset per frame) — the exact set of truncation points that leave a
+// structurally clean prefix.
+func frameBoundaries(t *testing.T, b []byte, key string) []int {
+	t.Helper()
+	off := 8 + 4 + 4 + len(key) + 8 + 8 + 4 // fixed header + key
+	bounds := []int{off}
+	for off < len(b) {
+		if off+4 > len(b) {
+			t.Fatalf("frame header straddles EOF at offset %d", off)
+		}
+		payload := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		off += 9 + payload // len + kind + frameCRC + payload
+		bounds = append(bounds, off)
+	}
+	if off != len(b) {
+		t.Fatalf("frame walk overshot: %d of %d bytes", off, len(b))
+	}
+	return bounds
+}
+
+// TestSalvageDegenerateFiles pins the salvage edge cases that have no
+// damaged bytes to detect — the file just ends too soon: a zero-length
+// file, a header-only file, and truncation exactly on a frame boundary.
+// Strict resume must reject each one (the header's promises are
+// unmeetable), and salvage must adopt exactly the whole frames present
+// — possibly zero — and complete to the clean run's output.
+func TestSalvageDegenerateFiles(t *testing.T) {
+	const n = 12
+	base := ckPath(t)
+	want := writeFullCheckpoint(t, base, n)
+	clean, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := frameBoundaries(t, clean, salvageKey)
+	if len(bounds) != n+1 {
+		t.Fatalf("clean file has %d frames, want %d", len(bounds)-1, n)
+	}
+
+	cases := []struct {
+		name string
+		cut  int // file length to keep
+		rows int // frames salvage must adopt
+	}{
+		{"zero length", 0, 0},
+		{"header only", bounds[0], 0},
+		{"boundary after frame 1", bounds[1], 1},
+		{"boundary mid file", bounds[n/2], n / 2},
+		{"boundary before last frame", bounds[n-1], n - 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := ckPath(t)
+			if err := os.WriteFile(path, clean[:tc.cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sweep.ResumeCheckpoint(path, salvageKey, 4); err == nil {
+				t.Fatal("strict resume accepted a truncated file")
+			} else if !errors.Is(err, sweep.ErrCheckpointCorrupt) {
+				t.Fatalf("strict resume err = %v, want ErrCheckpointCorrupt", err)
+			}
+			ck, rep, err := sweep.SalvageCheckpoint(path, salvageKey, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck.Rows() != tc.rows || rep.Rows != tc.rows {
+				t.Fatalf("salvaged %d rows (report %d), want %d", ck.Rows(), rep.Rows, tc.rows)
+			}
+			// Truncation at a boundary leaves nothing past the last whole
+			// frame, so no payload bytes are dropped.
+			if rep.DroppedBytes != 0 {
+				t.Fatalf("DroppedBytes = %d, want 0 (cut was on a boundary)", rep.DroppedBytes)
+			}
+			var ran atomic.Int64
+			got := completeSalvaged(t, ck, n, &ran)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("salvaged+completed output diverged from clean run:\n got %+v\nwant %+v", got, want)
+			}
+			if ran.Load() != int64(n-tc.rows) {
+				t.Fatalf("re-ran %d jobs, want %d", ran.Load(), n-tc.rows)
+			}
+			if _, err := sweep.ResumeCheckpoint(path, salvageKey, 4); err != nil {
+				t.Fatalf("strict resume after salvage+complete: %v", err)
+			}
+		})
 	}
 }
 

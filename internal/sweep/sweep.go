@@ -491,6 +491,18 @@ func streamSeq[S, T any](ctx context.Context, p *Pool, n int, newState func() S,
 	return nil
 }
 
+// RunOne executes a single job under the pool's retry policy — the same
+// code path StreamWorker runs per index, exposed for executors that
+// dispatch indices one at a time (a remote shard worker). The pool
+// contributes Retries, RetrySeed, Inject, and OnJobDone; workers and
+// windowing do not apply. Because the retry loop, injector seams, panic
+// capture, and backoff schedule are identical to the in-process pool's,
+// a job's settled outcome (value or error text) is the same wherever it
+// executes.
+func RunOne[S, T any](ctx context.Context, p *Pool, s S, i int, fn func(ctx context.Context, s S, i int) (T, error)) (T, error) {
+	return runJob(ctx, p, s, i, fn)
+}
+
 // runJob runs job i under the pool's retry policy: runOnce per attempt,
 // re-running in place while the error is Transient, budget remains, and
 // the context is live. Retrying in place — same index, same worker,

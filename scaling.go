@@ -6,7 +6,6 @@ import (
 
 	"specdsm/internal/machine"
 	"specdsm/internal/report"
-	"specdsm/internal/sweep"
 )
 
 // DefaultScalingNodes is the machine-size axis of the node-count
@@ -86,31 +85,32 @@ func NodeScalingStudyStream(cfg StudyConfig, nodeCounts []int, emit func(i int, 
 	}
 	k := len(nodeCounts)
 	n := len(cfg.Apps) * k
-	ck, err := cfg.checkpoint("scaling", n, fmt.Sprintf("|scalenodes=%v", nodeCounts))
-	if err != nil {
-		return err
-	}
-	p, err := cfg.pool(n)
-	if err != nil {
-		return err
-	}
 	fail := failRow(cfg, emit, func(j int, errText string) NodeScaling {
 		return NodeScaling{App: cfg.Apps[j/k], Nodes: nodeCounts[j%k], Failed: errText}
 	})
-	return sweep.StreamCheckpointFail(context.Background(), p, n, ck, machine.NewArena,
-		func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
-			wp := cfg.workloadParams()
-			wp.Nodes = nodeCounts[j%k]
-			w, err := AppWorkload(cfg.Apps[j/k], wp)
-			if err != nil {
-				return nil, err
-			}
-			return runInArena(arena, w, MachineOptions{Mode: ModeSWI, DisableChecks: cfg.DisableChecks})
-		},
+	rs := cfg.remoteSpec("scaling")
+	rs.NodeCounts = nodeCounts
+	return streamStudy(cfg, rs, n, fmt.Sprintf("|scalenodes=%v", nodeCounts), scalingJob(cfg, nodeCounts),
 		func(j int, r *RunResult) error {
 			return emit(j, NodeScaling{App: cfg.Apps[j/k], Nodes: nodeCounts[j%k], Run: r})
 		},
 		fail)
+}
+
+// scalingJob builds the node-scaling study's job function: application
+// j/k at node count j%k of the axis, under SWI-DSM. Shared between the
+// in-process pool and remote workers.
+func scalingJob(cfg StudyConfig, nodeCounts []int) func(context.Context, *machine.Arena, int) (*RunResult, error) {
+	k := len(nodeCounts)
+	return func(_ context.Context, arena *machine.Arena, j int) (*RunResult, error) {
+		wp := cfg.workloadParams()
+		wp.Nodes = nodeCounts[j%k]
+		w, err := AppWorkload(cfg.Apps[j/k], wp)
+		if err != nil {
+			return nil, err
+		}
+		return runInArena(arena, w, MachineOptions{Mode: ModeSWI, DisableChecks: cfg.DisableChecks})
+	}
 }
 
 // NodeScalingStudy is NodeScalingStudyStream collected into a slice.
